@@ -1,0 +1,328 @@
+package memfp
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// artifact and reporting its headline statistic via b.ReportMetric), plus
+// ablation benches for the design choices called out in DESIGN.md §6.
+// Scales are reduced so the full suite completes on a laptop; the repro CLI
+// (cmd/memfp repro) runs the same code at larger scale.
+
+import (
+	"context"
+	"testing"
+
+	"memfp/internal/analysis"
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/features"
+	"memfp/internal/ml/gbdt"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+const benchScale = 0.02
+
+// BenchmarkTableI regenerates Table I (dataset description) for all three
+// platforms and reports the Purley predictable-UE percentage.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTableI(Config{Scale: benchScale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PredictablePct, "purley-predictable-%")
+	}
+}
+
+// BenchmarkFigure2VIRR regenerates the Figure 2 cost model sweep.
+func BenchmarkFigure2VIRR(b *testing.B) {
+	points := []eval.Metrics{
+		{Precision: 0.54, Recall: 0.80},
+		{Precision: 0.46, Recall: 0.54},
+		{Precision: 0.51, Recall: 0.57},
+	}
+	ycs := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
+	for i := 0; i < b.N; i++ {
+		out := RunVIRRSensitivity(points, ycs)
+		if len(out) != len(points)*len(ycs) {
+			b.Fatal("wrong sweep size")
+		}
+	}
+}
+
+// BenchmarkFigure3Labeling exercises the §IV window labeling over a fleet
+// (Figure 3 is the problem definition; its artifact is the label set).
+func BenchmarkFigure3Labeling(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := features.NewExtractor()
+	cfg := features.DefaultSamplerConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := features.BuildAll(x, cfg, res.Store)
+		pos := 0
+		for _, s := range samples {
+			if s.Label == features.LabelPositive {
+				pos++
+			}
+		}
+		b.ReportMetric(float64(pos), "positive-samples")
+	}
+}
+
+// BenchmarkFigure4 regenerates the fault-mode/UE attribution analysis and
+// reports Purley's single-device share.
+func BenchmarkFigure4(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cats := analysis.Figure4(res.Store, analysis.DefaultThresholds())
+		for _, c := range cats {
+			if c.Category == analysis.CatSingleDevice {
+				b.ReportMetric(c.RelativeUEPct, "purley-single-dev-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the error-bit analysis and reports the
+// Purley risky-bucket (DQ count = 2) UE rate.
+func BenchmarkFigure5(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		panels := analysis.Figure5(res.Store)
+		for _, bkt := range panels[analysis.StatDQCount] {
+			if bkt.Value == 2 {
+				b.ReportMetric(bkt.RelativeUERate, "purley-dq2-ue-rate")
+			}
+		}
+	}
+}
+
+// tableIICell benchmarks one Table II cell end to end (train + evaluate).
+func tableIICell(b *testing.B, id platform.ID, algo Algo) {
+	b.Helper()
+	cfg := Config{Scale: benchScale, Seed: 42}
+	fleet, err := BuildFleet(cfg, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := EvaluateAlgo(cfg, fleet, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell.Applicable {
+			b.ReportMetric(cell.Metrics.F1, "F1")
+			b.ReportMetric(cell.Metrics.VIRR, "VIRR")
+		}
+	}
+}
+
+// The Table II grid: every algorithm on every platform.
+func BenchmarkTableII_Purley_RiskyCE(b *testing.B)  { tableIICell(b, platform.Purley, AlgoRiskyCE) }
+func BenchmarkTableII_Purley_Forest(b *testing.B)   { tableIICell(b, platform.Purley, AlgoForest) }
+func BenchmarkTableII_Purley_LightGBM(b *testing.B) { tableIICell(b, platform.Purley, AlgoGBDT) }
+func BenchmarkTableII_Purley_FTT(b *testing.B)      { tableIICell(b, platform.Purley, AlgoFTT) }
+func BenchmarkTableII_Whitley_Forest(b *testing.B)  { tableIICell(b, platform.Whitley, AlgoForest) }
+func BenchmarkTableII_Whitley_LightGBM(b *testing.B) {
+	tableIICell(b, platform.Whitley, AlgoGBDT)
+}
+func BenchmarkTableII_Whitley_FTT(b *testing.B)   { tableIICell(b, platform.Whitley, AlgoFTT) }
+func BenchmarkTableII_K920_Forest(b *testing.B)   { tableIICell(b, platform.K920, AlgoForest) }
+func BenchmarkTableII_K920_LightGBM(b *testing.B) { tableIICell(b, platform.K920, AlgoGBDT) }
+func BenchmarkTableII_K920_FTT(b *testing.B)      { tableIICell(b, platform.K920, AlgoFTT) }
+
+// BenchmarkFigure6MLOpsPipeline runs the full MLOps cycle: batch train,
+// gate, promote, replay the stream, resolve feedback.
+func BenchmarkFigure6MLOpsPipeline(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.K920, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe := mlops.NewPipeline(platform.K920)
+		pipe.Seed = 42
+		if _, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day); err != nil {
+			b.Fatal(err)
+		}
+		server := pipe.NewServer()
+		n, err := server.Replay(context.Background(), res.Store, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "alarms")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationErrorBits measures the contribution of bit-level
+// features (the paper's central feature family) by dropping them.
+func BenchmarkAblationErrorBits(b *testing.B) {
+	for _, drop := range []struct {
+		name string
+		drop bool
+	}{{"with-bits", false}, {"without-bits", true}} {
+		b.Run(drop.name, func(b *testing.B) {
+			cfg := Config{Scale: benchScale, Seed: 42, DropErrorBitFeatures: drop.drop}
+			fleet, err := BuildFleet(cfg, platform.Purley)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell, err := EvaluateAlgo(cfg, fleet, AlgoGBDT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.Metrics.F1, "F1")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the Δtd observation window.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, days := range []int{1, 3, 5} {
+		b.Run(map[int]string{1: "1d", 3: "3d", 5: "5d"}[days], func(b *testing.B) {
+			cfg := Config{Scale: benchScale, Seed: 42, ObservationDays: days}
+			fleet, err := BuildFleet(cfg, platform.Purley)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell, err := EvaluateAlgo(cfg, fleet, AlgoGBDT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.Metrics.F1, "F1")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDownsample sweeps the training negatives-per-positive.
+func BenchmarkAblationDownsample(b *testing.B) {
+	for _, ratio := range []float64{1, 4, 16} {
+		b.Run(map[float64]string{1: "1x", 4: "4x", 16: "16x"}[ratio], func(b *testing.B) {
+			cfg := Config{Scale: benchScale, Seed: 42, NegativeRatio: ratio}
+			fleet, err := BuildFleet(cfg, platform.Purley)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell, err := EvaluateAlgo(cfg, fleet, AlgoGBDT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.Metrics.F1, "F1")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLeafwise sweeps the GBDT leaf budget, the LightGBM-style
+// leaf-wise growth knob.
+func BenchmarkAblationLeafwise(b *testing.B) {
+	cfg := Config{Scale: benchScale, Seed: 42}
+	fleet, err := BuildFleet(cfg, platform.Purley)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, leaves := range []int{4, 31, 127} {
+		b.Run(map[int]string{4: "4-leaves", 31: "31-leaves", 127: "127-leaves"}[leaves], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := gbdt.DefaultParams()
+				p.MaxLeaves = leaves
+				p.Seed = 42
+				m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
+					fleet.Split.Val.X, fleet.Split.Val.Y, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				val := fleet.Split.Val
+				ds := eval.AggregateByDIMMWindow(val.DIMMs, val.Times, m.PredictBatch(val.X), val.Y, 30*trace.Day)
+				_, best := eval.BestF1Threshold(ds, eval.DefaultVIRRParams())
+				b.ReportMetric(best.F1, "val-F1")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+// ---------------------------------------------------------------------------
+
+func BenchmarkFleetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := faultsim.Generate(faultsim.Config{
+			Platform: platform.Purley, Scale: benchScale, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := features.NewExtractor()
+	logs := res.Store.DIMMs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := logs[i%len(logs)]
+		x.Extract(l, trace.ObservationSpan/2)
+	}
+}
+
+func BenchmarkStormDetection(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	logs := res.Store.DIMMs()
+	cfg := trace.DefaultStormConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.DetectStorms(logs[i%len(logs)].CEs(), cfg)
+	}
+}
+
+func BenchmarkLogCodec(b *testing.B) {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.005, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var l *trace.DIMMLog
+	for _, cand := range res.Store.DIMMs() {
+		if len(cand.Events) > 0 {
+			l = cand
+			break
+		}
+	}
+	line := trace.EncodeEvent(l.Events[0], l.Part)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := trace.DecodeEvent(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"memfp"
+	"memfp/internal/analysis"
+	"memfp/internal/faultsim"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+func parsePlatform(s string) (platform.ID, error) {
+	for _, id := range platform.All() {
+		if string(id) == s {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("unknown platform %q (want one of %v)", s, platform.All())
+}
+
+// cmdGenerate simulates one fleet and writes its BMC log.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	scale, seed := commonFlags(fs)
+	pf := fs.String("platform", string(platform.Purley), "platform ID")
+	out := fs.String("out", "", "output log path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := parsePlatform(*pf)
+	if err != nil {
+		return err
+	}
+	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteStore(w, res.Store); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d DIMMs, %d CE events, %d UE events\n",
+		res.Store.Len(), res.Store.CountEvents(trace.TypeCE), res.Store.CountEvents(trace.TypeUE))
+	return nil
+}
+
+// cmdAnalyze runs Table I + Figure 4/5 analysis over a log file.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "input log path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("analyze: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := trace.ReadStore(f)
+	if err != nil {
+		return err
+	}
+	st := analysis.TableI(store)
+	fmt.Print(analysis.FormatTableI([]analysis.DatasetStats{st}))
+	fmt.Println()
+	fmt.Print(analysis.FormatFigure4(st.Platform, analysis.Figure4(store, analysis.DefaultThresholds())))
+	fmt.Println()
+	fmt.Print(analysis.FormatFigure5(st.Platform, analysis.Figure5(store)))
+	return nil
+}
+
+// cmdTrain trains one algorithm on one platform and reports metrics.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	scale, seed := commonFlags(fs)
+	pf := fs.String("platform", string(platform.Purley), "platform ID")
+	algo := fs.String("algo", "lightgbm", "algorithm: riskyce|forest|lightgbm|ftt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := parsePlatform(*pf)
+	if err != nil {
+		return err
+	}
+	var a memfp.Algo
+	switch *algo {
+	case "riskyce":
+		a = memfp.AlgoRiskyCE
+	case "forest":
+		a = memfp.AlgoForest
+	case "lightgbm":
+		a = memfp.AlgoGBDT
+	case "ftt":
+		a = memfp.AlgoFTT
+	default:
+		return fmt.Errorf("train: unknown algorithm %q", *algo)
+	}
+	cfg := memfp.Config{Scale: *scale, Seed: *seed}
+	fleet, err := memfp.BuildFleet(cfg, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d DIMMs, %d samples (%d train / %d val / %d test)\n",
+		fleet.Result.Store.Len(), len(fleet.Samples),
+		fleet.Split.Train.Len(), fleet.Split.Val.Len(), fleet.Split.Test.Len())
+	cell, err := memfp.EvaluateAlgo(cfg, fleet, a)
+	if err != nil {
+		return err
+	}
+	if !cell.Applicable {
+		fmt.Printf("%s on %s: not applicable (X)\n", a, id)
+		return nil
+	}
+	fmt.Printf("%s on %s: %s\n", a, id, cell.Metrics)
+	return nil
+}
+
+// cmdServe runs the MLOps pipeline end to end on a simulated stream.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	scale, seed := commonFlags(fs)
+	pf := fs.String("platform", string(platform.Purley), "platform ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := parsePlatform(*pf)
+	if err != nil {
+		return err
+	}
+	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	pipe := mlops.NewPipeline(id)
+	pipe.Seed = *seed
+	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %s v%d: promoted=%v (%s), benchmark %s\n",
+		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
+
+	server := pipe.NewServer()
+	alarms := []mlops.Alarm{}
+	n, err := server.Replay(context.Background(), res.Store, func(a mlops.Alarm) {
+		alarms = append(alarms, a)
+	})
+	if err != nil {
+		return err
+	}
+	failed := map[trace.DIMMID]trace.Minutes{}
+	for _, l := range res.Store.DIMMs() {
+		if t, ok := l.FirstUE(); ok {
+			failed[l.ID] = t
+		}
+	}
+	pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
+	fmt.Printf("replayed stream: %d alarms emitted\n", n)
+	fmt.Print(pipe.Monitor.Dashboard())
+	dec := pipe.Monitor.ShouldRetrain(0.25, 0.2)
+	fmt.Printf("retraining decision: retrain=%v (%s)\n", dec.Retrain, dec.Reason)
+	return nil
+}
+
+// reproFig6 is the repro-harness view of the MLOps pipeline.
+func reproFig6(cfg memfp.Config) error {
+	fmt.Println("Figure 6 — MLOps framework walkthrough (Purley fleet)")
+	return cmdServe([]string{
+		"-platform", string(platform.Purley),
+		"-scale", fmt.Sprintf("%g", cfg.Scale*0.4),
+		"-seed", fmt.Sprintf("%d", cfg.Seed),
+	})
+}

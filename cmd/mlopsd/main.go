@@ -1,0 +1,139 @@
+// Command mlopsd is a stand-alone demonstration of the paper's Figure 6
+// MLOps framework running as a long-lived service loop: it trains an
+// initial model through the CI/CD gate, then serves a simulated production
+// event stream in monthly increments, resolving alarm feedback, monitoring
+// drift, and retraining + re-gating at each cycle — the "continuous
+// improvement over the production lifecycle" the paper argues for.
+//
+// Usage: mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+func main() {
+	pf := flag.String("platform", string(platform.Purley), "platform ID")
+	scale := flag.Float64("scale", 0.05, "fleet scale")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+	if err := run(platform.ID(*pf), *scale, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mlopsd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(id platform.ID, scale float64, seed uint64) error {
+	if _, err := platform.Get(id); err != nil {
+		return err
+	}
+	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	// Gather the full event stream once, time-ordered, and the ground
+	// outcomes for feedback resolution.
+	type stamped struct {
+		e trace.Event
+	}
+	var all []stamped
+	failed := map[trace.DIMMID]trace.Minutes{}
+	for _, l := range res.Store.DIMMs() {
+		for _, e := range l.Events {
+			all = append(all, stamped{e})
+		}
+		if ue, ok := l.FirstUE(); ok {
+			failed[l.ID] = ue
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].e, all[j].e
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.DIMM != b.DIMM {
+			return a.DIMM.Less(b.DIMM)
+		}
+		return a.Type < b.Type
+	})
+
+	pipe := mlops.NewPipeline(id)
+	pipe.Seed = seed
+
+	// Bootstrap: train on the first five months.
+	bootEnd := 150 * trace.Day
+	valEnd := 180 * trace.Day
+	tr, err := pipe.TrainAndMaybePromote(res.Store, bootEnd, valEnd)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[cycle 0] trained %s v%d  promoted=%v (%s)  benchmark %s\n",
+		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
+
+	server := pipe.NewServer()
+	for _, l := range res.Store.DIMMs() {
+		server.RegisterDIMM(l.ID, l.Part)
+	}
+
+	// Serve the post-validation stream month by month, retraining after
+	// each month with the accumulated data.
+	cycle := 1
+	var alarms []mlops.Alarm
+	cursor := 0
+	// Skip history the bootstrap model was trained on (it is replayed
+	// into the server silently so live features see full context).
+	ctx := context.Background()
+	_ = ctx
+	for ; cursor < len(all) && all[cursor].e.Time < valEnd; cursor++ {
+		if _, err := server.Ingest(all[cursor].e); err != nil {
+			return err
+		}
+	}
+	for monthStart := valEnd; monthStart < trace.ObservationSpan; monthStart += 30 * trace.Day {
+		monthEnd := monthStart + 30*trace.Day
+		monthAlarms := 0
+		for ; cursor < len(all) && all[cursor].e.Time < monthEnd; cursor++ {
+			a, err := server.Ingest(all[cursor].e)
+			if err != nil {
+				return err
+			}
+			if a != nil {
+				alarms = append(alarms, *a)
+				monthAlarms++
+			}
+		}
+		pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
+		prec, rec := pipe.Monitor.LivePrecisionRecall()
+		dec := pipe.Monitor.ShouldRetrain(0.25, 0.15)
+		fmt.Printf("[month %d] alarms=%d  live P=%.2f R=%.2f  PSI=%.3f  retrain=%v (%s)\n",
+			int(monthStart/(30*trace.Day)), monthAlarms, prec, rec, dec.PSI, dec.Retrain, dec.Reason)
+
+		// Retraining cycle with all data seen so far, gated.
+		tr, err := pipe.TrainAndMaybePromote(res.Store, monthStart, monthEnd)
+		if err != nil {
+			fmt.Printf("[cycle %d] retraining skipped: %v\n", cycle, err)
+		} else {
+			fmt.Printf("[cycle %d] candidate v%d  promoted=%v (%s)\n",
+				cycle, tr.Version.Version, tr.Promoted, tr.Reason)
+		}
+		cycle++
+	}
+
+	fmt.Println()
+	fmt.Print(pipe.Monitor.Dashboard())
+	fmt.Println("registry state:")
+	for _, v := range pipe.Registry.List() {
+		fmt.Printf("  %s v%d stage=%-10s F1=%.2f threshold=%.2f\n",
+			v.Name, v.Version, v.Stage, v.Metrics.F1, v.Threshold)
+	}
+	return nil
+}

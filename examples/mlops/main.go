@@ -1,0 +1,80 @@
+// Mlops walks the paper's Figure 6 framework end to end on one platform:
+// batch training through the feature store, CI/CD-gated promotion into the
+// model registry, online prediction over a replayed event stream, alarm
+// feedback, drift monitoring, and a gated retraining cycle.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+func main() {
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.K920, Scale: 0.08, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := mlops.NewPipeline(platform.K920)
+	pipe.Seed = 21
+
+	// Feature store catalog, as Data Scientists would browse it.
+	fs := pipe.Features
+	fmt.Printf("feature store: %d features (%d temporal, %d spatial, %d bit-level, %d static)\n",
+		len(fs.Definitions()),
+		len(fs.ByKind(mlops.KindTemporal)), len(fs.ByKind(mlops.KindSpatial)),
+		len(fs.ByKind(mlops.KindBitLevel)), len(fs.ByKind(mlops.KindStatic)))
+
+	// CI/CD cycle 1: train on the first five months, benchmark, promote.
+	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle 1: %s v%d promoted=%v (%s) benchmark[%s]\n",
+		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
+
+	// Online serving: replay the fleet's event stream through the
+	// production model.
+	server := pipe.NewServer()
+	var alarms []mlops.Alarm
+	n, err := server.Replay(context.Background(), res.Store, func(a mlops.Alarm) {
+		alarms = append(alarms, a)
+		if len(alarms) <= 3 {
+			fmt.Printf("  ALARM %s score=%.2f at %v → dispatching VM live-migration\n",
+				a.DIMM, a.Score, a.Time)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online serving: %d alarms over the stream\n", n)
+
+	// Feedback: resolve alarms against actual failures.
+	failed := map[trace.DIMMID]trace.Minutes{}
+	for _, l := range res.Store.DIMMs() {
+		if t, ok := l.FirstUE(); ok {
+			failed[l.ID] = t
+		}
+	}
+	pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
+	fmt.Print(pipe.Monitor.Dashboard())
+
+	// Monitoring decides whether to retrain; a second CI/CD cycle runs
+	// the promotion gate against the incumbent.
+	dec := pipe.Monitor.ShouldRetrain(0.25, 0.15)
+	fmt.Printf("retrain decision: %v (%s, PSI=%.3f)\n", dec.Retrain, dec.Reason, dec.PSI)
+
+	tr2, err := pipe.TrainAndMaybePromote(res.Store, 180*trace.Day, 210*trace.Day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle 2: v%d promoted=%v (%s)\n", tr2.Version.Version, tr2.Promoted, tr2.Reason)
+	for _, v := range pipe.Registry.List() {
+		fmt.Printf("registry: %s v%d stage=%s F1=%.2f\n", v.Name, v.Version, v.Stage, v.Metrics.F1)
+	}
+}

@@ -1,0 +1,56 @@
+// Virr explores the paper's §IV cost model (Figure 2): how the VM
+// Interruption Reduction Rate responds to the cold-migration fraction yc
+// and the model's operating point, including the precision < yc regime
+// where prediction makes things worse.
+package main
+
+import (
+	"fmt"
+
+	"memfp/internal/eval"
+)
+
+func main() {
+	fmt.Println("VIRR = (1 − yc/precision) · recall   (paper §IV, yc=0.1 default)")
+	fmt.Println()
+
+	// The paper's Table II operating points.
+	points := []struct {
+		name string
+		m    eval.Metrics
+	}{
+		{"Purley LightGBM (paper)", eval.Metrics{Precision: 0.54, Recall: 0.80}},
+		{"Whitley FT-Transformer (paper)", eval.Metrics{Precision: 0.53, Recall: 0.49}},
+		{"K920 LightGBM (paper)", eval.Metrics{Precision: 0.51, Recall: 0.57}},
+		{"Rule baseline Purley (paper)", eval.Metrics{Precision: 0.53, Recall: 0.46}},
+		{"High-recall/low-precision", eval.Metrics{Precision: 0.08, Recall: 0.95}},
+	}
+	ycs := []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.50}
+
+	fmt.Printf("%-32s", "operating point")
+	for _, yc := range ycs {
+		fmt.Printf("  yc=%.2f", yc)
+	}
+	fmt.Println()
+	for _, p := range points {
+		fmt.Printf("%-32s", p.name)
+		for _, yc := range ycs {
+			v := 0.0
+			if p.m.Precision > 0 {
+				v = (1 - yc/p.m.Precision) * p.m.Recall
+			}
+			fmt.Printf("  %+.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("note the sign flip when precision < yc: every prediction then triggers")
+	fmt.Println("more cold migrations than the failures it avoids (paper's argument for")
+	fmt.Println("precision floors in the CI/CD promotion gate)")
+
+	// Break-even precision for each yc: VIRR > 0 ⇔ precision > yc.
+	fmt.Println("\nbreak-even precision equals yc itself:")
+	for _, yc := range ycs {
+		fmt.Printf("  yc=%.2f → any model with precision > %.2f reduces interruptions\n", yc, yc)
+	}
+}

@@ -1,0 +1,302 @@
+package memfp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memfp/internal/analysis"
+	"memfp/internal/baseline"
+	"memfp/internal/dataset"
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/features"
+	"memfp/internal/ml/forest"
+	"memfp/internal/ml/ftt"
+	"memfp/internal/ml/gbdt"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+// RunTableI generates every platform fleet and computes Table I rows.
+func RunTableI(cfg Config) ([]analysis.DatasetStats, error) {
+	cfg = cfg.withDefaults()
+	var rows []analysis.DatasetStats
+	for _, id := range cfg.Platforms {
+		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, analysis.TableI(res.Store))
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 / Figure 5
+// ---------------------------------------------------------------------------
+
+// Figure4Result is one platform's Figure 4 bars.
+type Figure4Result struct {
+	Platform platform.ID
+	Cats     []analysis.CategoryStats
+}
+
+// RunFigure4 computes the fault-mode/UE correlation for each platform.
+func RunFigure4(cfg Config) ([]Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure4Result
+	for _, id := range cfg.Platforms {
+		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure4Result{
+			Platform: id,
+			Cats:     analysis.Figure4(res.Store, analysis.DefaultThresholds()),
+		})
+	}
+	return out, nil
+}
+
+// Figure5Result is one platform's four Figure 5 panels.
+type Figure5Result struct {
+	Platform platform.ID
+	Panels   map[analysis.BitStat][]analysis.BitBucket
+}
+
+// RunFigure5 computes the error-bit analysis for the Intel platforms (the
+// paper's Figure 5 scope).
+func RunFigure5(cfg Config) ([]Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure5Result
+	for _, id := range cfg.Platforms {
+		if id == platform.K920 {
+			continue
+		}
+		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure5Result{Platform: id, Panels: analysis.Figure5(res.Store)})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+// Cell is one Table II cell group (one algorithm on one platform).
+type Cell struct {
+	Metrics    eval.Metrics
+	Applicable bool
+	// TrainedOn records training-set shape for the report.
+	TrainSamples, TrainPositives int
+}
+
+// TableII is the full comparison: platform → algorithm → metrics.
+type TableII struct {
+	Cells  map[platform.ID]map[Algo]Cell
+	Config Config
+}
+
+// RunTableII trains and evaluates all four algorithms on every platform.
+func RunTableII(cfg Config) (*TableII, error) {
+	cfg = cfg.withDefaults()
+	t2 := &TableII{Cells: map[platform.ID]map[Algo]Cell{}, Config: cfg}
+	for _, id := range cfg.Platforms {
+		fleet, err := BuildFleet(cfg, id)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := EvaluateAll(cfg, fleet)
+		if err != nil {
+			return nil, fmt.Errorf("memfp: evaluate %s: %w", id, err)
+		}
+		t2.Cells[id] = cells
+	}
+	return t2, nil
+}
+
+// EvaluateAll trains and evaluates every algorithm on one fleet.
+func EvaluateAll(cfg Config, fleet *Fleet) (map[Algo]Cell, error) {
+	cfg = cfg.withDefaults()
+	out := map[Algo]Cell{}
+	for _, a := range Algos() {
+		cell, err := EvaluateAlgo(cfg, fleet, a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a, err)
+		}
+		out[a] = cell
+	}
+	return out, nil
+}
+
+// EvaluateAlgo trains one algorithm on the fleet's training partition,
+// tunes its decision threshold on validation DIMMs (max F1), and reports
+// test-partition DIMM-level metrics.
+func EvaluateAlgo(cfg Config, fleet *Fleet, a Algo) (Cell, error) {
+	cfg = cfg.withDefaults()
+	vp := eval.DefaultVIRRParams()
+	cell := Cell{
+		Applicable:     true,
+		TrainSamples:   fleet.TrainDown.Len(),
+		TrainPositives: fleet.TrainDown.Positives(),
+	}
+
+	if a == AlgoRiskyCE {
+		pred := baseline.New()
+		if !pred.Applicable(fleet.Platform.ID) {
+			cell.Applicable = false
+			return cell, nil
+		}
+		test := fleet.Split.Test
+		scores := make([]float64, test.Len())
+		for i := range scores {
+			scores[i] = pred.Score(fleet.Result.Store.Get(test.DIMMs[i]), test.Times[i])
+		}
+		ds := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, scores, test.Y, 30*trace.Day)
+		cell.Metrics = eval.Compute(eval.ConfusionAt(ds, 0.5), vp)
+		return cell, nil
+	}
+
+	train := fleet.TrainDown
+	if train.Positives() == 0 {
+		return cell, fmt.Errorf("no positive training samples (scale too small)")
+	}
+	var scoreFn func(X [][]float64) []float64
+	switch a {
+	case AlgoForest:
+		p := forest.DefaultParams()
+		p.Seed = cfg.Seed
+		m, err := forest.Fit(train.X, train.Y, p)
+		if err != nil {
+			return cell, err
+		}
+		scoreFn = m.PredictBatch
+	case AlgoGBDT:
+		p := gbdt.DefaultParams()
+		p.Seed = cfg.Seed
+		m, err := gbdt.Fit(train.X, train.Y, fleet.Split.Val.X, fleet.Split.Val.Y, p)
+		if err != nil {
+			return cell, err
+		}
+		scoreFn = m.PredictBatch
+	case AlgoFTT:
+		// Cap the transformer's training set: pure-Go attention is the
+		// pipeline's cost center, and the curve flattens well before
+		// this size. The set is already shuffled, so truncation is an
+		// unbiased subsample.
+		const maxFTTRows = 30000
+		fx, fy := train.X, train.Y
+		if len(fx) > maxFTTRows {
+			fx, fy = fx[:maxFTTRows], fy[:maxFTTRows]
+		}
+		scaler := dataset.FitScaler(train)
+		p := ftt.DefaultParams()
+		p.Seed = cfg.Seed
+		m := ftt.New(len(train.X[0]), p)
+		if err := m.Fit(scaler.Transform(fx), fy,
+			scaler.Transform(fleet.Split.Val.X), fleet.Split.Val.Y); err != nil {
+			return cell, err
+		}
+		scoreFn = func(X [][]float64) []float64 { return m.PredictProba(scaler.Transform(X)) }
+	default:
+		return cell, fmt.Errorf("unknown algorithm %q", a)
+	}
+
+	val := fleet.Split.Val
+	valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times, scoreFn(val.X), val.Y, 30*trace.Day)
+
+	test := fleet.Split.Test
+	testDS := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, scoreFn(test.X), test.Y, 30*trace.Day)
+
+	// Base positive-unit rate from pre-deployment labels (train + val).
+	tr := fleet.Split.Train
+	trainDS := eval.AggregateByDIMMWindow(tr.DIMMs, tr.Times, make([]float64, tr.Len()), tr.Y, 30*trace.Day)
+	baseRate := eval.PositiveUnitRate(append(trainDS, valDS...))
+	testScores := make([]float64, len(testDS))
+	for i, d := range testDS {
+		testScores[i] = d.Score
+	}
+	th := eval.TuneThreshold(valDS, vp, 20, 1.6, baseRate, testScores)
+	cell.Metrics = eval.Compute(eval.ConfusionAt(testDS, th), vp)
+	return cell, nil
+}
+
+// Format renders the comparison like the paper's Table II.
+func (t *TableII) Format() string {
+	var sb strings.Builder
+	ids := make([]platform.ID, 0, len(t.Cells))
+	for _, id := range platform.All() {
+		if _, ok := t.Cells[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	fmt.Fprintf(&sb, "%-18s", "Algorithm")
+	for _, id := range ids {
+		fmt.Fprintf(&sb, " | %-27s", id)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-18s", "")
+	for range ids {
+		fmt.Fprintf(&sb, " | %5s %5s %5s %5s  ", "P", "R", "F1", "VIRR")
+	}
+	sb.WriteByte('\n')
+	for _, a := range Algos() {
+		fmt.Fprintf(&sb, "%-18s", a)
+		for _, id := range ids {
+			c := t.Cells[id][a]
+			if !c.Applicable {
+				fmt.Fprintf(&sb, " | %5s %5s %5s %5s  ", "X", "X", "X", "X")
+				continue
+			}
+			m := c.Metrics
+			fmt.Fprintf(&sb, " | %5.2f %5.2f %5.2f %5.2f  ", m.Precision, m.Recall, m.F1, m.VIRR)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 (VIRR sensitivity)
+// ---------------------------------------------------------------------------
+
+// VIRRPoint is one (yc, precision, recall) → VIRR evaluation.
+type VIRRPoint struct {
+	YC, Precision, Recall, VIRR float64
+}
+
+// RunVIRRSensitivity sweeps the Figure 2 cost model over yc for given
+// operating points, showing where prediction helps vs harms.
+func RunVIRRSensitivity(points []eval.Metrics, ycs []float64) []VIRRPoint {
+	var out []VIRRPoint
+	for _, m := range points {
+		for _, yc := range ycs {
+			v := 0.0
+			if m.Precision > 0 {
+				v = (1 - yc/m.Precision) * m.Recall
+			}
+			out = append(out, VIRRPoint{YC: yc, Precision: m.Precision, Recall: m.Recall, VIRR: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Precision != out[j].Precision {
+			return out[i].Precision < out[j].Precision
+		}
+		return out[i].YC < out[j].YC
+	})
+	return out
+}
+
+// LeadTimeWindows reports the §IV / Figure 3 window configuration in use.
+func LeadTimeWindows() features.Windows { return features.DefaultWindows() }
+
+// ObservationSpanDays returns the simulated collection period in days.
+func ObservationSpanDays() int { return int(trace.ObservationSpan / trace.Day) }

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"testing"
+
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+func testLog(t *testing.T, pn string) *trace.DIMMLog {
+	t.Helper()
+	part, err := platform.PartByNumber(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trace.DIMMLog{
+		ID:   trace.DIMMID{Platform: platform.Purley, Server: 0, Slot: 0},
+		Part: part,
+	}
+}
+
+func ceWithBits(tm trace.Minutes, set func(e *dram.ErrorBits)) trace.Event {
+	bits := dram.NewErrorBits(dram.X4)
+	set(&bits)
+	return trace.Event{Time: tm, Type: trace.TypeCE, Bits: bits,
+		Addr: dram.Addr{Device: 1, Bank: 1, Row: 1, Column: 1}}
+}
+
+func TestApplicability(t *testing.T) {
+	p := New()
+	if !p.Applicable(platform.Purley) {
+		t.Error("must be applicable on Purley")
+	}
+	if p.Applicable(platform.Whitley) || p.Applicable(platform.K920) {
+		t.Error("must be inapplicable off-Purley (the X cells of Table II)")
+	}
+}
+
+func TestPairPatternTriggers(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	// Two CEs with the risky 2-DQ / 4-beat-interval pattern.
+	for i := 0; i < 2; i++ {
+		l.Events = append(l.Events, ceWithBits(trace.Minutes(100+i), func(e *dram.ErrorBits) {
+			e.Set(0, 1)
+			e.Set(2, 5) // beat interval 4
+		}))
+	}
+	if !p.Predict(l, 200) {
+		t.Error("risky pair pattern should trigger")
+	}
+}
+
+func TestDensePatternTriggers(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	for i := 0; i < 2; i++ {
+		l.Events = append(l.Events, ceWithBits(trace.Minutes(100+i), func(e *dram.ErrorBits) {
+			e.Set(0, 0)
+			e.Set(1, 1)
+			e.Set(2, 2) // 3 DQs, 3 beats
+		}))
+	}
+	if !p.Predict(l, 200) {
+		t.Error("dense pattern should trigger")
+	}
+}
+
+func TestBenignDoesNotTrigger(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	for i := 0; i < 20; i++ {
+		l.Events = append(l.Events, ceWithBits(trace.Minutes(100+i*10), func(e *dram.ErrorBits) {
+			e.Set(1, 3) // single bit
+		}))
+	}
+	if p.Predict(l, 400) {
+		t.Error("single-bit CEs should not trigger")
+	}
+}
+
+func TestSingleRiskyCEInsufficient(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	l.Events = append(l.Events, ceWithBits(100, func(e *dram.ErrorBits) {
+		e.Set(0, 1)
+		e.Set(2, 5)
+	}))
+	if p.Predict(l, 200) {
+		t.Error("one risky CE should be below MinRiskyCEs")
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	for i := 0; i < 3; i++ {
+		l.Events = append(l.Events, ceWithBits(trace.Minutes(i), func(e *dram.ErrorBits) {
+			e.Set(0, 1)
+			e.Set(2, 5)
+		}))
+	}
+	// Predicting long after the window: events expired.
+	if p.Predict(l, 100*trace.Day) {
+		t.Error("events outside the window should not trigger")
+	}
+}
+
+func TestStormGuard(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	for i := 0; i < 4; i++ {
+		l.Events = append(l.Events, trace.Event{Time: trace.Minutes(100 + i), Type: trace.TypeStorm})
+	}
+	if !p.Predict(l, 200) {
+		t.Error("storm guard should trigger on repeated storms")
+	}
+}
+
+func TestVendorSpecificRules(t *testing.T) {
+	p := New()
+	// Vendor C requires 3 risky CEs; 2 must not trigger.
+	l := testLog(t, "C4-2933-32")
+	for i := 0; i < 2; i++ {
+		l.Events = append(l.Events, ceWithBits(trace.Minutes(100+i), func(e *dram.ErrorBits) {
+			e.Set(0, 1)
+			e.Set(2, 5)
+		}))
+	}
+	if p.Predict(l, 200) {
+		t.Error("vendor C rule requires 3 risky CEs")
+	}
+	l.Events = append(l.Events, ceWithBits(102, func(e *dram.ErrorBits) {
+		e.Set(0, 1)
+		e.Set(2, 5)
+	}))
+	if !p.Predict(l, 200) {
+		t.Error("vendor C rule should trigger at 3 risky CEs")
+	}
+}
+
+func TestScoreContract(t *testing.T) {
+	p := New()
+	l := testLog(t, "A4-2666-32")
+	if s := p.Score(l, 100); s != 0 {
+		t.Errorf("empty log score %v, want 0", s)
+	}
+}

@@ -1,0 +1,129 @@
+// Package dram models the physical organization of DDR4 memory as seen by
+// the memory controller and the BMC error logs: the DIMM hierarchy
+// (socket → channel → DIMM → rank → device → bank group → bank → row →
+// column → cell) and the bit-level layout of a burst transfer (beats × DQ
+// lines) from which ECC decodes error positions.
+//
+// The model follows Figure 1 of the paper: an x4 DDR4 chip drives 4 DQ
+// lines over a burst of 8 beats; a rank of 18 such chips (16 data + 2 ECC)
+// delivers 72 bits per beat (64 data + 8 ECC).
+package dram
+
+import "fmt"
+
+// Width is the data width of a DRAM device (chip).
+type Width int
+
+// Supported device widths.
+const (
+	X4 Width = 4
+	X8 Width = 8
+)
+
+// String implements fmt.Stringer.
+func (w Width) String() string {
+	return fmt.Sprintf("x%d", int(w))
+}
+
+// BurstLength is the number of beats in a DDR4 burst transfer.
+const BurstLength = 8
+
+// DataBitsPerBeat is the number of data bits transferred per beat,
+// excluding ECC check bits.
+const DataBitsPerBeat = 64
+
+// ECCBitsPerBeat is the number of ECC check bits transferred per beat.
+const ECCBitsPerBeat = 8
+
+// Geometry describes the addressable shape of a DRAM device and the rank
+// that contains it. Values reflect common 8Gb DDR4 parts; the analysis only
+// relies on the ordering of levels, not absolute sizes.
+type Geometry struct {
+	Width          Width // device data width (x4 or x8)
+	DevicesPerRank int   // data devices per rank (16 for x4, 8 for x8), excluding ECC devices
+	ECCDevices     int   // ECC devices per rank (2 for x4, 1 for x8)
+	Ranks          int   // ranks per DIMM
+	BankGroups     int   // bank groups per device
+	BanksPerGroup  int   // banks per bank group
+	Rows           int   // rows per bank
+	Columns        int   // columns per row
+}
+
+// DefaultGeometry returns the geometry of a typical 8Gb DDR4 part with the
+// given device width, matching the x4 configuration in paper Figure 1.
+func DefaultGeometry(w Width) Geometry {
+	g := Geometry{
+		Width:         w,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		Rows:          1 << 17, // 128Ki rows
+		Columns:       1 << 10, // 1Ki columns
+		Ranks:         2,
+	}
+	switch w {
+	case X4:
+		g.DevicesPerRank = 16
+		g.ECCDevices = 2
+	case X8:
+		g.DevicesPerRank = 8
+		g.ECCDevices = 1
+	default:
+		panic(fmt.Sprintf("dram: unsupported width %d", w))
+	}
+	return g
+}
+
+// Banks returns the total number of banks per device.
+func (g Geometry) Banks() int { return g.BankGroups * g.BanksPerGroup }
+
+// TotalDevices returns data+ECC devices per rank.
+func (g Geometry) TotalDevices() int { return g.DevicesPerRank + g.ECCDevices }
+
+// Addr locates a memory cell (or a coarser region when trailing fields are
+// negative) inside one DIMM. A value of -1 in Row/Column means "entire
+// bank"/"entire row" respectively when describing fault extents.
+type Addr struct {
+	Rank   int
+	Device int // chip index within the rank, 0-based
+	Bank   int // flat bank index: group*BanksPerGroup + bank
+	Row    int
+	Column int
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string {
+	return fmt.Sprintf("rank=%d dev=%d bank=%d row=%d col=%d", a.Rank, a.Device, a.Bank, a.Row, a.Column)
+}
+
+// Valid reports whether the address is inside the geometry. Negative
+// Row/Column are allowed as wildcard markers only when wild is true.
+func (a Addr) Valid(g Geometry, wild bool) bool {
+	if a.Rank < 0 || a.Rank >= g.Ranks {
+		return false
+	}
+	if a.Device < 0 || a.Device >= g.TotalDevices() {
+		return false
+	}
+	if a.Bank < 0 || a.Bank >= g.Banks() {
+		return false
+	}
+	rowOK := a.Row >= 0 && a.Row < g.Rows
+	colOK := a.Column >= 0 && a.Column < g.Columns
+	if wild {
+		rowOK = rowOK || a.Row == -1
+		colOK = colOK || a.Column == -1
+	}
+	return rowOK && colOK
+}
+
+// CellID returns a single comparable identifier for the cell, used for
+// counting distinct cells in fault classification. The address must be
+// fully specified (no wildcards).
+func (a Addr) CellID(g Geometry) uint64 {
+	id := uint64(a.Rank)
+	id = id*uint64(g.TotalDevices()) + uint64(a.Device)
+	id = id*uint64(g.Banks()) + uint64(a.Bank)
+	id = id*uint64(g.Rows) + uint64(a.Row)
+	id = id*uint64(g.Columns) + uint64(a.Column)
+	return id
+}

@@ -1,0 +1,111 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryX4(t *testing.T) {
+	g := DefaultGeometry(X4)
+	if g.DevicesPerRank != 16 || g.ECCDevices != 2 {
+		t.Errorf("x4 rank: %d data + %d ecc devices, want 16+2", g.DevicesPerRank, g.ECCDevices)
+	}
+	if g.TotalDevices() != 18 {
+		t.Errorf("x4 total devices %d, want 18", g.TotalDevices())
+	}
+	// 16 data devices × 4 DQ = 64 data bits per beat, 2 ECC × 4 = 8.
+	if g.DevicesPerRank*int(g.Width) != DataBitsPerBeat {
+		t.Errorf("data bits per beat: %d", g.DevicesPerRank*int(g.Width))
+	}
+	if g.ECCDevices*int(g.Width) != ECCBitsPerBeat {
+		t.Errorf("ecc bits per beat: %d", g.ECCDevices*int(g.Width))
+	}
+}
+
+func TestDefaultGeometryX8(t *testing.T) {
+	g := DefaultGeometry(X8)
+	if g.TotalDevices() != 9 {
+		t.Errorf("x8 total devices %d, want 9", g.TotalDevices())
+	}
+	if g.Banks() != 16 {
+		t.Errorf("banks %d, want 16", g.Banks())
+	}
+}
+
+func TestGeometryPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unsupported width")
+		}
+	}()
+	DefaultGeometry(Width(3))
+}
+
+func TestAddrValid(t *testing.T) {
+	g := DefaultGeometry(X4)
+	cases := []struct {
+		a    Addr
+		wild bool
+		want bool
+	}{
+		{Addr{0, 0, 0, 0, 0}, false, true},
+		{Addr{1, 17, 15, g.Rows - 1, g.Columns - 1}, false, true},
+		{Addr{2, 0, 0, 0, 0}, false, false},  // rank out of range
+		{Addr{0, 18, 0, 0, 0}, false, false}, // device out of range
+		{Addr{0, 0, 16, 0, 0}, false, false}, // bank out of range
+		{Addr{0, 0, 0, -1, 0}, false, false}, // wildcard disallowed
+		{Addr{0, 0, 0, -1, 0}, true, true},   // wildcard allowed
+		{Addr{0, 0, 0, 0, -1}, true, true},
+		{Addr{0, 0, 0, -2, 0}, true, false}, // -2 is not a wildcard
+	}
+	for _, c := range cases {
+		if got := c.a.Valid(g, c.wild); got != c.want {
+			t.Errorf("Valid(%v, wild=%v) = %v, want %v", c.a, c.wild, got, c.want)
+		}
+	}
+}
+
+func TestCellIDUnique(t *testing.T) {
+	g := DefaultGeometry(X4)
+	seen := map[uint64]Addr{}
+	// Sample corners and a grid; all must be distinct.
+	for _, rank := range []int{0, 1} {
+		for _, dev := range []int{0, 7, 17} {
+			for _, bank := range []int{0, 15} {
+				for _, row := range []int{0, 1, g.Rows - 1} {
+					for _, col := range []int{0, g.Columns - 1} {
+						a := Addr{rank, dev, bank, row, col}
+						id := a.CellID(g)
+						if prev, ok := seen[id]; ok {
+							t.Fatalf("CellID collision: %v and %v → %d", prev, a, id)
+						}
+						seen[id] = a
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellIDInjectiveQuick(t *testing.T) {
+	g := DefaultGeometry(X4)
+	f := func(r1, d1, b1, w1, c1, r2, d2, b2, w2, c2 uint16) bool {
+		a1 := Addr{int(r1) % g.Ranks, int(d1) % g.TotalDevices(), int(b1) % g.Banks(),
+			int(w1) % g.Rows, int(c1) % g.Columns}
+		a2 := Addr{int(r2) % g.Ranks, int(d2) % g.TotalDevices(), int(b2) % g.Banks(),
+			int(w2) % g.Rows, int(c2) % g.Columns}
+		if a1 == a2 {
+			return a1.CellID(g) == a2.CellID(g)
+		}
+		return a1.CellID(g) != a2.CellID(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthString(t *testing.T) {
+	if X4.String() != "x4" || X8.String() != "x8" {
+		t.Errorf("width strings: %s %s", X4, X8)
+	}
+}

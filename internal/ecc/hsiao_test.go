@@ -1,0 +1,114 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memfp/internal/xrand"
+)
+
+func TestHsiaoCleanDecode(t *testing.T) {
+	h := NewHsiao7264()
+	f := func(data uint64) bool {
+		check := h.Encode(data)
+		got, res := h.Decode(data, check)
+		return got == data && res == DecodeClean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHsiaoCorrectsEverySingleBit(t *testing.T) {
+	h := NewHsiao7264()
+	data := uint64(0xdeadbeefcafebabe)
+	check := h.Encode(data)
+	// Flip each of the 64 data bits.
+	for i := 0; i < 64; i++ {
+		corrupted := data ^ (1 << uint(i))
+		got, res := h.Decode(corrupted, check)
+		if res != DecodeCorrected || got != data {
+			t.Fatalf("data bit %d: result %v, repaired=%x", i, res, got)
+		}
+	}
+	// Flip each of the 8 check bits: data must survive untouched.
+	for j := 0; j < 8; j++ {
+		got, res := h.Decode(data, check^(1<<uint(j)))
+		if res != DecodeCorrected || got != data {
+			t.Fatalf("check bit %d: result %v", j, res)
+		}
+	}
+}
+
+func TestHsiaoDetectsDoubleBits(t *testing.T) {
+	h := NewHsiao7264()
+	rng := xrand.New(99)
+	data := uint64(0x0123456789abcdef)
+	check := h.Encode(data)
+	for trial := 0; trial < 2000; trial++ {
+		i := rng.Intn(64)
+		j := rng.Intn(64)
+		for j == i {
+			j = rng.Intn(64)
+		}
+		corrupted := data ^ (1 << uint(i)) ^ (1 << uint(j))
+		_, res := h.Decode(corrupted, check)
+		if res != DecodeDetected {
+			t.Fatalf("double error (%d, %d) not detected: %v", i, j, res)
+		}
+	}
+	// Mixed data+check double errors must also be detected, never
+	// miscorrected to the wrong word.
+	for trial := 0; trial < 2000; trial++ {
+		i := rng.Intn(64)
+		j := rng.Intn(8)
+		got, res := h.Decode(data^(1<<uint(i)), check^(1<<uint(j)))
+		if res == DecodeCorrected && got != data {
+			t.Fatalf("miscorrection on mixed double error (%d, c%d)", i, j)
+		}
+		if res == DecodeClean {
+			t.Fatalf("double error (%d, c%d) reported clean", i, j)
+		}
+	}
+}
+
+func TestHsiaoColumnsOddWeight(t *testing.T) {
+	h := NewHsiao7264()
+	for i, c := range h.columns {
+		w := 0
+		for b := 0; b < 8; b++ {
+			if c&(1<<uint(b)) != 0 {
+				w++
+			}
+		}
+		if w%2 == 0 || w < 3 {
+			t.Errorf("column %d has weight %d, want odd ≥3", i, w)
+		}
+	}
+}
+
+func TestHsiaoColumnsDistinct(t *testing.T) {
+	h := NewHsiao7264()
+	seen := map[uint8]int{}
+	for i, c := range h.columns {
+		if prev, ok := seen[c]; ok {
+			t.Errorf("columns %d and %d identical (%08b)", prev, i, c)
+		}
+		seen[c] = i
+	}
+}
+
+func TestDecodeResultString(t *testing.T) {
+	for _, c := range []struct {
+		r    DecodeResult
+		want string
+	}{
+		{DecodeClean, "clean"},
+		{DecodeCorrected, "corrected"},
+		{DecodeDetected, "detected-uncorrectable"},
+	} {
+		if c.r.String() != c.want {
+			t.Errorf("%d → %q, want %q", int(c.r), c.r.String(), c.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"memfp/internal/dram"
+	"memfp/internal/xrand"
+)
+
+// Profile is a bit-level error-signature family (paper Figure 5). A fault
+// carries one profile; every CE it produces samples an ErrorBits signature
+// from that family. Profiles are the statistical precursors the paper's
+// bit-level analysis recovers: specific (DQ count, beat count, interval)
+// shapes correlate with later UEs, platform-dependently.
+type Profile int
+
+// Signature profiles. "Risky" profiles are the platform-specific UE
+// precursors identified in Figure 5.
+const (
+	// ProfileSingleBit: 1 DQ, 1 beat — the benign common case.
+	ProfileSingleBit Profile = iota
+	// ProfileAdjacent: 2 adjacent DQs, 1-2 adjacent beats.
+	ProfileAdjacent
+	// ProfileRiskyPurley: 2 DQs, 2 beats exactly 4 apart — the Purley
+	// precursor (Fig. 5 top row red bars).
+	ProfileRiskyPurley
+	// ProfileRiskyWhitley: 4 DQs, 5 beats — the Whitley precursor
+	// (Fig. 5 bottom row red bars).
+	ProfileRiskyWhitley
+	// ProfileWideDQ: 3-4 DQs on 1-2 beats — benign wide pattern.
+	ProfileWideDQ
+	// ProfileLongBeat: 1 DQ across 3-6 beats — benign long pattern.
+	ProfileLongBeat
+)
+
+// Profiles lists all signature profiles.
+func Profiles() []Profile {
+	return []Profile{ProfileSingleBit, ProfileAdjacent, ProfileRiskyPurley,
+		ProfileRiskyWhitley, ProfileWideDQ, ProfileLongBeat}
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case ProfileSingleBit:
+		return "single-bit"
+	case ProfileAdjacent:
+		return "adjacent"
+	case ProfileRiskyPurley:
+		return "risky-purley"
+	case ProfileRiskyWhitley:
+		return "risky-whitley"
+	case ProfileWideDQ:
+		return "wide-dq"
+	case ProfileLongBeat:
+		return "long-beat"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Sample draws one ErrorBits signature from the profile family for a
+// device of the given width. Widths narrower than the profile's natural
+// span degrade gracefully (x8 devices still produce in-range DQs).
+func (p Profile) Sample(w dram.Width, rng *xrand.RNG) dram.ErrorBits {
+	e := dram.NewErrorBits(w)
+	nDQ := int(w)
+	switch p {
+	case ProfileSingleBit:
+		e.Set(rng.Intn(nDQ), rng.Intn(dram.BurstLength))
+	case ProfileAdjacent:
+		dq := rng.Intn(nDQ - 1)
+		beat := rng.Intn(dram.BurstLength - 1)
+		e.Set(dq, beat)
+		e.Set(dq+1, beat)
+		if rng.Bool(0.5) {
+			e.Set(dq, beat+1)
+			e.Set(dq+1, beat+1)
+		}
+	case ProfileRiskyPurley:
+		// Exactly 2 DQs (span varies) and 2 beats exactly 4 apart.
+		dq1 := rng.Intn(nDQ)
+		dq2 := rng.Intn(nDQ)
+		for dq2 == dq1 {
+			dq2 = rng.Intn(nDQ)
+		}
+		beat := rng.Intn(dram.BurstLength - 4)
+		e.Set(dq1, beat)
+		e.Set(dq2, beat+4)
+	case ProfileRiskyWhitley:
+		// 4 distinct DQs (all, for x4) across 5 distinct beats.
+		beats := rng.SampleWithoutReplacement(dram.BurstLength, 5)
+		for i, b := range beats {
+			dq := i % nDQ
+			e.Set(dq, b)
+		}
+		// Ensure all four DQ lines present even when nDQ > 4.
+		for dq := 0; dq < min(4, nDQ); dq++ {
+			e.Set(dq, beats[dq%5])
+		}
+	case ProfileWideDQ:
+		k := 3
+		if nDQ >= 4 && rng.Bool(0.15) {
+			k = 4
+		}
+		if k > nDQ {
+			k = nDQ
+		}
+		beat := rng.Intn(dram.BurstLength)
+		for _, dq := range rng.SampleWithoutReplacement(nDQ, k) {
+			e.Set(dq, beat)
+		}
+		if rng.Bool(0.3) && beat+1 < dram.BurstLength {
+			e.Set(rng.Intn(nDQ), beat+1)
+		}
+	case ProfileLongBeat:
+		dq := rng.Intn(nDQ)
+		// 3..6 beats, weighted toward short runs so the 5-beat bucket
+		// stays informative for the Whitley risky profile.
+		n := 3 + rng.Categorical([]float64{0.45, 0.30, 0.15, 0.10})
+		start := rng.Intn(dram.BurstLength - n + 1)
+		for b := start; b < start+n; b++ {
+			e.Set(dq, b)
+		}
+	default:
+		panic(fmt.Sprintf("faultsim: unknown profile %d", int(p)))
+	}
+	return e
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

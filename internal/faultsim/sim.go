@@ -1,0 +1,348 @@
+package faultsim
+
+import (
+	"fmt"
+	"math"
+
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+	"memfp/internal/xrand"
+)
+
+// Config parameterizes fleet generation for one platform.
+type Config struct {
+	Platform platform.ID
+	// Scale multiplies the calibrated fleet size (1.0 = the paper's
+	// Table I population). Benchmarks and examples use fractions.
+	Scale float64
+	// Seed makes the fleet fully reproducible.
+	Seed uint64
+	// MaxEventsPerDIMM caps a single DIMM's CE count (default 2500).
+	MaxEventsPerDIMM int
+	// Calib overrides the default calibration when non-nil (used by
+	// calibration tests and ablations).
+	Calib *Calibration
+}
+
+// Truth records the generator's hidden state for one DIMM. It exists for
+// validation and analysis tests only — the prediction pipeline never
+// reads it.
+type Truth struct {
+	ID      trace.DIMMID
+	Part    platform.DIMMPart
+	Mode    Mode
+	Profile Profile
+	// UETime is the UE instant, or -1 when the DIMM never fails.
+	UETime trace.Minutes
+	// Sudden marks UEs with no preceding CEs.
+	Sudden bool
+	// Weak marks predictable UEs with only a short CE precursor window.
+	Weak bool
+	// Bursty marks DIMMs given storm episodes.
+	Bursty bool
+}
+
+// UE reports whether the DIMM experienced any UE.
+func (t *Truth) UE() bool { return t.UETime >= 0 }
+
+// GroundTruth indexes Truth records for a generated fleet.
+type GroundTruth struct {
+	ByDIMM map[trace.DIMMID]*Truth
+	List   []*Truth
+}
+
+// Result bundles a generated fleet.
+type Result struct {
+	Platform *platform.Platform
+	Calib    *Calibration
+	Store    *trace.Store
+	Truth    *GroundTruth
+}
+
+// rate multipliers per fault mode: higher-level faults produce more CEs.
+var modeRateMult = map[Mode]float64{
+	ModeSporadic:    0.3,
+	ModeCell:        1.0,
+	ModeColumn:      1.8,
+	ModeRow:         2.2,
+	ModeBank:        3.0,
+	ModeMultiDevice: 2.6,
+}
+
+// Generate simulates one platform fleet.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("faultsim: scale must be positive, got %v", cfg.Scale)
+	}
+	p, err := platform.Get(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	calib := cfg.Calib
+	if calib == nil {
+		calib, err = DefaultCalibration(cfg.Platform)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := calib.Validate(); err != nil {
+		return nil, err
+	}
+	maxEvents := cfg.MaxEventsPerDIMM
+	if maxEvents <= 0 {
+		maxEvents = 2500
+	}
+
+	rng := xrand.New(cfg.Seed ^ hashPlatform(cfg.Platform))
+	store := trace.NewStore()
+	truth := &GroundTruth{ByDIMM: make(map[trace.DIMMID]*Truth)}
+
+	nCE := int(math.Round(float64(calib.CEDIMMs) * cfg.Scale))
+	if nCE < 1 {
+		nCE = 1
+	}
+
+	// x4 parts dominate the studied population (the paper's bit-level
+	// analysis is for x4 DRAM).
+	catalog := platform.Catalog()
+	var x4Parts, x8Parts []platform.DIMMPart
+	for _, part := range catalog {
+		if part.Width == dram.X4 {
+			x4Parts = append(x4Parts, part)
+		} else {
+			x8Parts = append(x8Parts, part)
+		}
+	}
+
+	modeWeights := make([]float64, len(Modes()))
+	for i, m := range Modes() {
+		modeWeights[i] = calib.ModeMix[m]
+	}
+
+	slots := p.Sockets * p.ChannelsPerSocket * p.DIMMsPerChannel
+	predictableUEs := 0
+
+	for i := 0; i < nCE; i++ {
+		drng := rng.Split()
+		part := x4Parts[drng.Intn(len(x4Parts))]
+		if drng.Bool(0.15) && len(x8Parts) > 0 {
+			part = x8Parts[drng.Intn(len(x8Parts))]
+		}
+		id := trace.DIMMID{Platform: cfg.Platform, Server: i, Slot: drng.Intn(slots)}
+		mode := Modes()[drng.Categorical(modeWeights)]
+		ueBound := drng.Bool(calib.UEHazard[mode])
+
+		prof := sampleProfile(calib, ueBound, drng)
+		fault := NewFault(mode, prof, part.Geometry, drng)
+
+		t := &Truth{ID: id, Part: part, Mode: mode, Profile: prof, UETime: -1}
+		if _, err := store.Register(id, part); err != nil {
+			return nil, err
+		}
+		if err := emitDIMM(store, p, calib, fault, t, ueBound, maxEvents, drng); err != nil {
+			return nil, err
+		}
+		if t.UE() {
+			predictableUEs++
+		}
+		truth.ByDIMM[id] = t
+		truth.List = append(truth.List, t)
+	}
+
+	// Sudden-UE DIMMs: UEs with no CE history, sized so the
+	// sudden/predictable split matches Table I.
+	nSudden := int(math.Round(float64(predictableUEs) * calib.SuddenShare / (1 - calib.SuddenShare)))
+	for i := 0; i < nSudden; i++ {
+		drng := rng.Split()
+		part := x4Parts[drng.Intn(len(x4Parts))]
+		id := trace.DIMMID{Platform: cfg.Platform, Server: nCE + i, Slot: drng.Intn(slots)}
+		mode := Modes()[drng.Categorical(modeWeights)]
+		fault := NewFault(mode, ProfileSingleBit, part.Geometry, drng)
+		ueTime := trace.Minutes(drng.Int63n(int64(trace.ObservationSpan)))
+		if _, err := store.Register(id, part); err != nil {
+			return nil, err
+		}
+		if _, err := fault.EscalationTransaction(p, part.Width, drng); err != nil {
+			return nil, err
+		}
+		if err := store.Append(trace.Event{
+			Time: ueTime, Type: trace.TypeUE, DIMM: id, Addr: fault.UEAddr(drng),
+		}); err != nil {
+			return nil, err
+		}
+		t := &Truth{ID: id, Part: part, Mode: mode, Profile: ProfileSingleBit,
+			UETime: ueTime, Sudden: true}
+		truth.ByDIMM[id] = t
+		truth.List = append(truth.List, t)
+	}
+
+	store.SortAll()
+	trace.AnnotateStorms(store, trace.DefaultStormConfig())
+	return &Result{Platform: p, Calib: calib, Store: store, Truth: truth}, nil
+}
+
+// sampleProfile draws the fault's signature profile from the calibrated
+// risky/benign mixture.
+func sampleProfile(c *Calibration, ueBound bool, rng *xrand.RNG) Profile {
+	pRisky := c.PRiskyGivenBenign
+	if ueBound {
+		pRisky = c.PRiskyGivenUE
+	}
+	if rng.Bool(pRisky) {
+		return c.RiskyProfile
+	}
+	profs := make([]Profile, 0, len(c.BenignProfileMix))
+	weights := make([]float64, 0, len(c.BenignProfileMix))
+	for _, p := range Profiles() {
+		if w, ok := c.BenignProfileMix[p]; ok && w > 0 {
+			profs = append(profs, p)
+			weights = append(weights, w)
+		}
+	}
+	return profs[rng.Categorical(weights)]
+}
+
+// emitDIMM generates the CE stream (and UE, when ueBound) for one DIMM.
+func emitDIMM(store *trace.Store, p *platform.Platform, calib *Calibration,
+	fault *Fault, t *Truth, ueBound bool, maxEvents int, rng *xrand.RNG) error {
+
+	spanDays := int(trace.ObservationSpan / trace.Day)
+	baseRate := rng.LogNormal(calib.RateMu, calib.RateSigma) * modeRateMult[fault.Mode]
+
+	var firstDay, lastDay, ueDay int
+	var ueMinute trace.Minutes = -1
+	switch {
+	case ueBound:
+		t.Weak = rng.Bool(calib.WeakPrecursorFrac)
+		// UE somewhere inside the window, late enough for precursors.
+		ueDay = 30 + rng.Intn(spanDays-30)
+		lead := 20 + rng.Intn(100) // strong precursor: 20-120 days of CEs
+		if t.Weak {
+			lead = 1 + rng.Intn(6) // weak precursor: 1-6 days
+		}
+		firstDay = ueDay - lead
+		if firstDay < 0 {
+			firstDay = 0
+		}
+		lastDay = ueDay
+		ueMinute = trace.Minutes(ueDay)*trace.Day + trace.Minutes(rng.Int63n(int64(trace.Day)))
+		t.UETime = ueMinute
+	default:
+		// Benign fault episodes are bounded: production faults get
+		// repaired, page-offlined, or simply stay transient. A
+		// log-normal episode length (median ≈ 1 month, occasional
+		// long-lived tails) keeps the benign feature distribution
+		// stationary across the collection window, as in real fleets.
+		firstDay = rng.Intn(spanDays - 10)
+		dur := 5 + int(rng.LogNormal(3.3, 1.0))
+		lastDay = firstDay + dur
+		if lastDay > spanDays-1 {
+			lastDay = spanDays - 1
+		}
+	}
+
+	bursty := false
+	if ueBound {
+		bursty = rng.Bool(0.5)
+	} else {
+		bursty = rng.Bool(calib.BurstyBenignFrac)
+	}
+	t.Bursty = bursty
+	stormDays := map[int]int{}
+	if bursty {
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := firstDay + rng.Intn(lastDay-firstDay+1)
+			stormDays[d] = 15 + rng.Poisson(30)
+		}
+	}
+
+	total := 0
+	for d := firstDay; d <= lastDay && total < maxEvents; d++ {
+		mean := baseRate
+		if ueBound {
+			// CE rate accelerates approaching the UE (the temporal
+			// signal the paper's 5-day observation window captures):
+			// a multi-week exponential ramp, distinguishable from the
+			// single-day spikes of benign CE storms.
+			mean *= 1 + 14*math.Exp(-float64(ueDay-d)/8.0)
+		}
+		n := rng.Poisson(mean)
+		if extra, ok := stormDays[d]; ok {
+			n += extra
+		}
+		if n == 0 {
+			continue
+		}
+		if total+n > maxEvents {
+			n = maxEvents - total
+		}
+		dayStart := trace.Minutes(d) * trace.Day
+		for k := 0; k < n; k++ {
+			ts := dayStart + trace.Minutes(rng.Int63n(int64(trace.Day)))
+			if ueMinute >= 0 && ts >= ueMinute {
+				ts = ueMinute - 1 - trace.Minutes(rng.Int63n(60))
+				if ts < 0 {
+					ts = 0
+				}
+			}
+			bits, err := fault.SampleCEBits(p.ECC, t.Part.Width, rng)
+			if err != nil {
+				return err
+			}
+			if err := store.Append(trace.Event{
+				Time: ts, Type: trace.TypeCE, DIMM: t.ID,
+				Addr: fault.SampleAddr(rng), Bits: bits,
+			}); err != nil {
+				return err
+			}
+			total++
+		}
+	}
+
+	if total == 0 {
+		// Every fleet member is by definition a "DIMM with CEs"
+		// (Table I); guarantee at least one observation.
+		ts := trace.Minutes(firstDay)*trace.Day + trace.Minutes(rng.Int63n(int64(trace.Day)))
+		if ueMinute >= 0 && ts >= ueMinute {
+			ts = ueMinute - 1
+			if ts < 0 {
+				ts = 0
+			}
+		}
+		bits, err := fault.SampleCEBits(p.ECC, t.Part.Width, rng)
+		if err != nil {
+			return err
+		}
+		if err := store.Append(trace.Event{
+			Time: ts, Type: trace.TypeCE, DIMM: t.ID,
+			Addr: fault.SampleAddr(rng), Bits: bits,
+		}); err != nil {
+			return err
+		}
+	}
+
+	if ueBound {
+		if _, err := fault.EscalationTransaction(p, t.Part.Width, rng); err != nil {
+			return err
+		}
+		if err := store.Append(trace.Event{
+			Time: ueMinute, Type: trace.TypeUE, DIMM: t.ID, Addr: fault.UEAddr(rng),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hashPlatform derives a stable per-platform seed component so fleets for
+// different platforms are decorrelated even under the same user seed.
+func hashPlatform(id platform.ID) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range string(id) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

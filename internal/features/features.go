@@ -1,0 +1,349 @@
+// Package features implements §VI's feature engineering and the §IV/Fig. 3
+// sample construction: at a prediction instant t, features summarize the
+// observation window [t−Δtd, t] of a DIMM's CE history (temporal, spatial,
+// bit-level, and static attributes), and the label states whether a UE
+// occurs inside the prediction validation window [t+Δtl, t+Δtl+Δtp].
+package features
+
+import (
+	"fmt"
+
+	"memfp/internal/analysis"
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Windows holds the §IV problem-formulation parameters.
+type Windows struct {
+	Observation trace.Minutes // Δtd: history window (paper: 5 days)
+	Lead        trace.Minutes // Δtl: lead time before failure (paper: up to 3h)
+	Prediction  trace.Minutes // Δtp: prediction validation window (paper: 30 days)
+}
+
+// DefaultWindows returns the paper's settings: Δtd=5d, Δtl=3h, Δtp=30d.
+func DefaultWindows() Windows {
+	return Windows{
+		Observation: 5 * trace.Day,
+		Lead:        3 * trace.Hour,
+		Prediction:  30 * trace.Day,
+	}
+}
+
+// Label is a sample's class.
+type Label int
+
+// Sample labels. LabelDropped marks samples inside the ambiguous
+// (t, t+Δtl) zone — a UE strikes before any proactive action could
+// complete — which are excluded from training, per the paper's protocol.
+const (
+	LabelNegative Label = 0
+	LabelPositive Label = 1
+	LabelDropped  Label = -1
+)
+
+// Names lists the feature vector layout. Extract must fill exactly these,
+// in order. The set follows §VI: "DRAM characteristics such as
+// manufacturer, data width, frequency, chip process, CE error rate, our
+// conducted failure analysis, and memory events."
+func Names() []string {
+	return []string{
+		// Temporal CE statistics over nested windows.
+		"ce_15m", "ce_1h", "ce_6h", "ce_1d", "ce_5d",
+		"ce_total", "ce_rate_accel", "storms_5d", "storms_total",
+		"mins_since_first_ce", "mins_since_last_ce", "active_days_5d",
+		// Spatial fault-analysis features (observation window).
+		"faulty_cells_w", "faulty_rows_w", "faulty_cols_w", "faulty_banks_w",
+		"faulty_devices_w", "multi_device_w",
+		// Spatial fault-analysis features (lifetime up to t).
+		"faulty_cells_l", "faulty_rows_l", "faulty_cols_l", "faulty_banks_l",
+		"faulty_devices_l", "multi_device_l",
+		"distinct_banks_l", "distinct_rows_l", "distinct_cols_l", "max_cell_ces_l",
+		// Bit-level signature features (observation window).
+		"frac_dq1", "frac_dq2", "frac_dq4", "frac_dq3plus",
+		"frac_beat2", "frac_beat5", "frac_beatint4",
+		"mean_bits", "max_bits", "dom_dq", "dom_beat", "dom_dqint", "dom_beatint",
+		// Static DIMM attributes.
+		"vendor_a", "vendor_b", "vendor_c", "vendor_d",
+		"width_x8", "speed_mts", "process_nm", "capacity_gib",
+	}
+}
+
+// Dim is the feature vector length.
+func Dim() int { return len(Names()) }
+
+// CategoricalFeatures returns the indices of one-hot/binary features —
+// consumed by the FT-Transformer's tokenizer, which embeds categorical and
+// numeric features differently.
+func CategoricalFeatures() []int {
+	idx := map[string]int{}
+	for i, n := range Names() {
+		idx[n] = i
+	}
+	return []int{
+		idx["multi_device_w"], idx["multi_device_l"],
+		idx["vendor_a"], idx["vendor_b"], idx["vendor_c"], idx["vendor_d"],
+		idx["width_x8"],
+	}
+}
+
+// Extractor computes feature vectors and labels for one DIMM.
+type Extractor struct {
+	Windows    Windows
+	Thresholds analysis.Thresholds
+}
+
+// NewExtractor returns an extractor with the paper's default windows and
+// classification thresholds.
+func NewExtractor() *Extractor {
+	return &Extractor{Windows: DefaultWindows(), Thresholds: analysis.DefaultThresholds()}
+}
+
+// Extract computes the feature vector for DIMM l at prediction instant t.
+// Only events strictly before or at t are consulted; the function is safe
+// to call at any t regardless of the DIMM's future.
+func (x *Extractor) Extract(l *trace.DIMMLog, t trace.Minutes) []float64 {
+	f := make([]float64, Dim())
+	w := x.Windows.Observation
+	winStart := t - w
+	if winStart < 0 {
+		winStart = 0
+	}
+
+	var (
+		ce15m, ce1h, ce6h, ce1d, ce5d, ceTotal int
+		storms5d, stormsTotal                  int
+		firstCE, lastCE                        trace.Minutes = -1, -1
+		windowCEs, lifeCEs                     []trace.Event
+		activeDays                             = map[trace.Minutes]struct{}{}
+	)
+	for _, e := range l.Events {
+		if e.Time > t {
+			break
+		}
+		switch e.Type {
+		case trace.TypeCE:
+			ceTotal++
+			if firstCE < 0 {
+				firstCE = e.Time
+			}
+			lastCE = e.Time
+			lifeCEs = append(lifeCEs, e)
+			d := t - e.Time
+			if d <= 15 {
+				ce15m++
+			}
+			if d <= trace.Hour {
+				ce1h++
+			}
+			if d <= 6*trace.Hour {
+				ce6h++
+			}
+			if d <= trace.Day {
+				ce1d++
+			}
+			if d <= w {
+				ce5d++
+				windowCEs = append(windowCEs, e)
+				activeDays[e.Time/trace.Day] = struct{}{}
+			}
+		case trace.TypeStorm:
+			stormsTotal++
+			if t-e.Time <= w {
+				storms5d++
+			}
+		}
+	}
+
+	set := func(i int, v float64) { f[i] = v }
+	i := 0
+	next := func(v float64) { set(i, v); i++ }
+
+	next(float64(ce15m))
+	next(float64(ce1h))
+	next(float64(ce6h))
+	next(float64(ce1d))
+	next(float64(ce5d))
+	next(float64(ceTotal))
+	// Acceleration: last-day rate vs the 5-day average rate.
+	accel := 0.0
+	if ce5d > 0 {
+		accel = float64(ce1d) / (float64(ce5d) / 5.0)
+	}
+	next(accel)
+	next(float64(storms5d))
+	next(float64(stormsTotal))
+	if firstCE >= 0 {
+		next(float64(t - firstCE))
+		next(float64(t - lastCE))
+	} else {
+		next(-1)
+		next(-1)
+	}
+	next(float64(len(activeDays)))
+
+	clsW := analysis.Classify(windowCEs, x.Thresholds)
+	next(float64(clsW.FaultyCells))
+	next(float64(clsW.FaultyRows))
+	next(float64(clsW.FaultyCols))
+	next(float64(clsW.FaultyBanks))
+	next(float64(clsW.FaultyDevices))
+	next(boolf(clsW.MultiDevice))
+
+	clsL := analysis.Classify(lifeCEs, x.Thresholds)
+	next(float64(clsL.FaultyCells))
+	next(float64(clsL.FaultyRows))
+	next(float64(clsL.FaultyCols))
+	next(float64(clsL.FaultyBanks))
+	next(float64(clsL.FaultyDevices))
+	next(boolf(clsL.MultiDevice))
+
+	banks := map[[3]int]struct{}{}
+	rows := map[[4]int]struct{}{}
+	cols := map[[4]int]struct{}{}
+	cellCE := map[[5]int]int{}
+	maxCell := 0
+	for _, e := range lifeCEs {
+		a := e.Addr
+		banks[[3]int{a.Rank, a.Device, a.Bank}] = struct{}{}
+		rows[[4]int{a.Rank, a.Device, a.Bank, a.Row}] = struct{}{}
+		cols[[4]int{a.Rank, a.Device, a.Bank, a.Column}] = struct{}{}
+		k := [5]int{a.Rank, a.Device, a.Bank, a.Row, a.Column}
+		cellCE[k]++
+		if cellCE[k] > maxCell {
+			maxCell = cellCE[k]
+		}
+	}
+	next(float64(len(banks)))
+	next(float64(len(rows)))
+	next(float64(len(cols)))
+	next(float64(maxCell))
+
+	var nBits, dq1, dq2, dq4, dq3p, beat2, beat5, bint4, sumBits, maxBits int
+	for _, e := range windowCEs {
+		if e.Bits.IsZero() {
+			continue
+		}
+		nBits++
+		dq := e.Bits.DQCount()
+		bc := e.Bits.BeatCount()
+		switch {
+		case dq == 1:
+			dq1++
+		case dq == 2:
+			dq2++
+		case dq == 4:
+			dq4++
+		}
+		if dq >= 3 {
+			dq3p++
+		}
+		if bc == 2 {
+			beat2++
+		}
+		if bc == 5 {
+			beat5++
+		}
+		if e.Bits.BeatInterval() == 4 {
+			bint4++
+		}
+		b := e.Bits.BitCount()
+		sumBits += b
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	frac := func(n int) float64 {
+		if nBits == 0 {
+			return 0
+		}
+		return float64(n) / float64(nBits)
+	}
+	next(frac(dq1))
+	next(frac(dq2))
+	next(frac(dq4))
+	next(frac(dq3p))
+	next(frac(beat2))
+	next(frac(beat5))
+	next(frac(bint4))
+	if nBits > 0 {
+		next(float64(sumBits) / float64(nBits))
+	} else {
+		next(0)
+	}
+	next(float64(maxBits))
+	domDQ, domBeat, domDQI, domBI := dominantSig(windowCEs)
+	next(float64(domDQ))
+	next(float64(domBeat))
+	next(float64(domDQI))
+	next(float64(domBI))
+
+	next(boolf(l.Part.Manufacturer == platform.VendorA))
+	next(boolf(l.Part.Manufacturer == platform.VendorB))
+	next(boolf(l.Part.Manufacturer == platform.VendorC))
+	next(boolf(l.Part.Manufacturer == platform.VendorD))
+	next(boolf(l.Part.Width == dram.X8))
+	next(float64(l.Part.SpeedMTs))
+	next(float64(l.Part.ProcessNm))
+	next(float64(l.Part.CapacityGiB))
+
+	if i != Dim() {
+		panic(fmt.Sprintf("features: filled %d features, expected %d", i, Dim()))
+	}
+	return f
+}
+
+// Labelize returns the §IV label for a prediction made at t.
+func (x *Extractor) Labelize(l *trace.DIMMLog, t trace.Minutes) Label {
+	ue, ok := l.FirstUE()
+	if !ok || ue <= t {
+		// No UE, or prediction after the failure (callers should not
+		// emit samples at/after the UE; treat defensively as dropped).
+		if ok && ue <= t {
+			return LabelDropped
+		}
+		return LabelNegative
+	}
+	start := t + x.Windows.Lead
+	end := start + x.Windows.Prediction
+	switch {
+	case ue < start:
+		return LabelDropped // UE inside the lead gap: too late to act
+	case ue <= end:
+		return LabelPositive
+	default:
+		return LabelNegative
+	}
+}
+
+func boolf(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// dominantSig mirrors the analysis package's dominant-signature logic for
+// the observation window.
+func dominantSig(ces []trace.Event) (dq, beat, dqi, bi int) {
+	type sig struct{ dq, beat, dqi, bi int }
+	counts := map[sig]int{}
+	for _, e := range ces {
+		if e.Bits.IsZero() {
+			continue
+		}
+		s := sig{e.Bits.DQCount(), e.Bits.BeatCount(), e.Bits.DQInterval(), e.Bits.BeatInterval()}
+		counts[s]++
+	}
+	if len(counts) == 0 {
+		return 0, 0, 0, 0
+	}
+	var best sig
+	bestN := -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && (s.dq > best.dq || (s.dq == best.dq && s.beat > best.beat))) {
+			best, bestN = s, n
+		}
+	}
+	return best.dq, best.beat, best.dqi, best.bi
+}

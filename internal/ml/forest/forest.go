@@ -1,0 +1,129 @@
+// Package forest implements a Random Forest binary classifier (§VI): an
+// ensemble of bootstrap-sampled, feature-subsampled CART trees whose
+// class-1 probabilities are averaged. Training is parallel across trees
+// and fully deterministic for a given seed.
+package forest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memfp/internal/ml/tree"
+	"memfp/internal/xrand"
+)
+
+// Params configures training.
+type Params struct {
+	Trees       int
+	MaxDepth    int
+	MinLeaf     int
+	FeatureFrac float64 // per-split feature fraction (√d/d is the classic default)
+	SampleFrac  float64 // bootstrap size relative to the training set
+	Seed        uint64
+}
+
+// DefaultParams mirrors common production settings.
+func DefaultParams() Params {
+	return Params{Trees: 150, MaxDepth: 12, MinLeaf: 5, FeatureFrac: 0.35, SampleFrac: 1.0, Seed: 1}
+}
+
+// Model is a trained forest.
+type Model struct {
+	TreesList []*tree.Node
+	Dim       int
+}
+
+// Fit trains a forest on raw features X and 0/1 labels y.
+func Fit(X [][]float64, y []int, p Params) (*Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("forest: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	if p.Trees <= 0 {
+		return nil, fmt.Errorf("forest: Trees must be positive, got %d", p.Trees)
+	}
+	mapper := tree.FitBins(X, tree.MaxBins)
+	bins := mapper.BinMatrix(X)
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	n := len(X)
+	bootN := int(float64(n) * p.SampleFrac)
+	if bootN < 1 {
+		bootN = n
+	}
+
+	m := &Model{TreesList: make([]*tree.Node, p.Trees), Dim: len(X[0])}
+	tp := tree.Params{MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, FeatureFrac: p.FeatureFrac, MinGain: 1e-7}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Trees {
+		workers = p.Trees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				// Per-tree RNG keyed by (seed, tree index): determinism
+				// does not depend on goroutine scheduling.
+				rng := xrand.New(p.Seed + uint64(t)*0x9e3779b97f4a7c15)
+				idx := make([]int, bootN)
+				for i := range idx {
+					idx[i] = rng.Intn(n)
+				}
+				m.TreesList[t] = tree.Build(bins, yf, idx, mapper, tp, rng)
+			}
+		}()
+	}
+	for t := 0; t < p.Trees; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return m, nil
+}
+
+// PredictProba returns the averaged class-1 probability for one sample.
+func (m *Model) PredictProba(x []float64) float64 {
+	if len(m.TreesList) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range m.TreesList {
+		s += t.Predict(x)
+	}
+	return s / float64(len(m.TreesList))
+}
+
+// PredictBatch scores many samples.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.PredictProba(x)
+	}
+	return out
+}
+
+// FeatureImportance returns normalized split-count importance.
+func (m *Model) FeatureImportance() []float64 {
+	counts := make([]int, m.Dim)
+	for _, t := range m.TreesList {
+		t.WalkFeatures(counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	imp := make([]float64, m.Dim)
+	if total == 0 {
+		return imp
+	}
+	for i, c := range counts {
+		imp[i] = float64(c) / float64(total)
+	}
+	return imp
+}

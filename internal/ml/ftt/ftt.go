@@ -1,0 +1,299 @@
+// Package ftt implements the FT-Transformer of Gorishniy et al. (NeurIPS
+// 2021), the deep tabular baseline the paper evaluates in §VI: every
+// feature is tokenized into a d-dimensional embedding (value-scaled weight
+// plus bias), a learned [CLS] token is prepended, the token sequence runs
+// through pre-norm transformer blocks, and a binary head reads the [CLS]
+// representation.
+package ftt
+
+import (
+	"fmt"
+	"math"
+
+	"memfp/internal/ml/tensor"
+	"memfp/internal/xrand"
+)
+
+// Params configures the model and training loop.
+type Params struct {
+	Dim         int // token embedding width
+	Heads       int
+	Layers      int
+	FFNMult     int // FFN hidden width = FFNMult × Dim
+	Epochs      int
+	Batch       int
+	LR          float64
+	PosWeight   float64 // positive-class weight in the loss (0 = auto)
+	Patience    int     // early-stop patience on validation loss (0 = off)
+	Seed        uint64
+	WeightDecay float64
+}
+
+// DefaultParams returns the compact configuration used in the experiments
+// (the paper's tabular datasets are small; so are ours).
+func DefaultParams() Params {
+	return Params{
+		Dim: 16, Heads: 2, Layers: 2, FFNMult: 2,
+		Epochs: 15, Batch: 256, LR: 2e-3,
+		Patience: 4, Seed: 1, WeightDecay: 1e-5,
+	}
+}
+
+// block holds one transformer layer's parameters.
+type block struct {
+	ln1g, ln1b *tensor.Tensor
+	wq, wk, wv *tensor.Tensor
+	bq, bk, bv *tensor.Tensor
+	wo, bo     *tensor.Tensor
+	ln2g, ln2b *tensor.Tensor
+	w1, b1     *tensor.Tensor
+	w2, b2     *tensor.Tensor
+}
+
+// Model is a trained FT-Transformer.
+type Model struct {
+	p            Params
+	nf           int            // feature count
+	wNum         *tensor.Tensor // [nf, dim] per-feature value weights
+	bNum         *tensor.Tensor // [nf, dim] per-feature biases
+	cls          *tensor.Tensor // [1, dim] learned CLS token
+	blocks       []*block
+	lngF, lnbF   *tensor.Tensor // final layernorm
+	wHead, bHead *tensor.Tensor
+	params       []*tensor.Tensor
+}
+
+// New initializes an untrained model for nf features.
+func New(nf int, p Params) *Model {
+	if p.Dim%p.Heads != 0 {
+		panic(fmt.Sprintf("ftt: Dim %d not divisible by Heads %d", p.Dim, p.Heads))
+	}
+	rng := xrand.New(p.Seed)
+	m := &Model{p: p, nf: nf}
+	add := func(t *tensor.Tensor) *tensor.Tensor {
+		t.Param()
+		m.params = append(m.params, t)
+		return t
+	}
+	ones := func(cols int) *tensor.Tensor {
+		t := tensor.New(1, cols)
+		for i := range t.Data {
+			t.Data[i] = 1
+		}
+		return t
+	}
+	d := p.Dim
+	m.wNum = add(tensor.NormalInit(tensor.New(nf, d), 0.1, rng))
+	m.bNum = add(tensor.NormalInit(tensor.New(nf, d), 0.02, rng))
+	m.cls = add(tensor.NormalInit(tensor.New(1, d), 0.1, rng))
+	for l := 0; l < p.Layers; l++ {
+		b := &block{
+			ln1g: add(ones(d)), ln1b: add(tensor.New(1, d)),
+			wq: add(tensor.XavierInit(tensor.New(d, d), rng)), bq: add(tensor.New(1, d)),
+			wk: add(tensor.XavierInit(tensor.New(d, d), rng)), bk: add(tensor.New(1, d)),
+			wv: add(tensor.XavierInit(tensor.New(d, d), rng)), bv: add(tensor.New(1, d)),
+			wo: add(tensor.XavierInit(tensor.New(d, d), rng)), bo: add(tensor.New(1, d)),
+			ln2g: add(ones(d)), ln2b: add(tensor.New(1, d)),
+			w1: add(tensor.XavierInit(tensor.New(d, d*p.FFNMult), rng)), b1: add(tensor.New(1, d*p.FFNMult)),
+			w2: add(tensor.XavierInit(tensor.New(d*p.FFNMult, d), rng)), b2: add(tensor.New(1, d)),
+		}
+		m.blocks = append(m.blocks, b)
+	}
+	m.lngF = add(ones(d))
+	m.lnbF = add(tensor.New(1, d))
+	m.wHead = add(tensor.XavierInit(tensor.New(d, 1), rng))
+	m.bHead = add(tensor.New(1, 1))
+	return m
+}
+
+// tokenize builds the [batch*(nf+1), dim] token matrix: CLS followed by
+// per-feature tokens x_f·W_f + B_f, as a fused op with custom backward.
+func (m *Model) tokenize(X [][]float64) *tensor.Tensor {
+	batch := len(X)
+	T := m.nf + 1
+	d := m.p.Dim
+	out := tensor.NewOp(batch*T, d, m.wNum, m.bNum, m.cls)
+	for b := 0; b < batch; b++ {
+		copy(out.Data[(b*T)*d:(b*T+1)*d], m.cls.Data)
+		for f := 0; f < m.nf; f++ {
+			row := out.Data[(b*T+1+f)*d : (b*T+2+f)*d]
+			v := X[b][f]
+			for j := 0; j < d; j++ {
+				row[j] = v*m.wNum.Data[f*d+j] + m.bNum.Data[f*d+j]
+			}
+		}
+	}
+	out.SetBack(func() {
+		for b := 0; b < batch; b++ {
+			for j := 0; j < d; j++ {
+				m.cls.Grad[j] += out.Grad[(b*T)*d+j]
+			}
+			for f := 0; f < m.nf; f++ {
+				v := X[b][f]
+				base := (b*T + 1 + f) * d
+				for j := 0; j < d; j++ {
+					g := out.Grad[base+j]
+					m.wNum.Grad[f*d+j] += v * g
+					m.bNum.Grad[f*d+j] += g
+				}
+			}
+		}
+	})
+	return out
+}
+
+// forward computes logits (batch×1) for a raw feature batch.
+func (m *Model) forward(X [][]float64) *tensor.Tensor {
+	batch := len(X)
+	T := m.nf + 1
+	h := m.tokenize(X)
+	for _, b := range m.blocks {
+		// Pre-norm attention with residual.
+		n1 := tensor.LayerNorm(h, b.ln1g, b.ln1b, 1e-5)
+		q := tensor.Add(tensor.MatMul(n1, b.wq), b.bq)
+		k := tensor.Add(tensor.MatMul(n1, b.wk), b.bk)
+		v := tensor.Add(tensor.MatMul(n1, b.wv), b.bv)
+		att := tensor.Attention(q, k, v, batch, T, m.p.Heads)
+		att = tensor.Add(tensor.MatMul(att, b.wo), b.bo)
+		h = tensor.Add(h, att)
+		// Pre-norm FFN with residual.
+		n2 := tensor.LayerNorm(h, b.ln2g, b.ln2b, 1e-5)
+		ff := tensor.Add(tensor.MatMul(n2, b.w1), b.b1)
+		ff = tensor.GELU(ff)
+		ff = tensor.Add(tensor.MatMul(ff, b.w2), b.b2)
+		h = tensor.Add(h, ff)
+	}
+	clsRows := make([]int, batch)
+	for i := range clsRows {
+		clsRows[i] = i * T
+	}
+	cls := tensor.Rows(h, clsRows)
+	cls = tensor.LayerNorm(cls, m.lngF, m.lnbF, 1e-5)
+	return tensor.Add(tensor.MatMul(cls, m.wHead), m.bHead)
+}
+
+// Fit trains with Adam and mini-batches; when validation data is provided
+// and Patience > 0, the best-validation parameters are kept.
+func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ftt: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	if pos == 0 || pos == len(y) {
+		return fmt.Errorf("ftt: degenerate training labels (positives=%d of %d)", pos, len(y))
+	}
+	posW := m.p.PosWeight
+	if posW <= 0 {
+		posW = math.Min(10, float64(len(y)-pos)/float64(pos))
+	}
+	opt := tensor.NewAdam(m.params, m.p.LR)
+	opt.WeightDecay = m.p.WeightDecay
+	rng := xrand.New(m.p.Seed ^ 0xabcdef)
+
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	var best [][]float64
+
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.p.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for s := 0; s < len(order); s += m.p.Batch {
+			e := s + m.p.Batch
+			if e > len(order) {
+				e = len(order)
+			}
+			xb := make([][]float64, 0, e-s)
+			yb := make([]float64, 0, e-s)
+			for _, i := range order[s:e] {
+				xb = append(xb, X[i])
+				yb = append(yb, float64(y[i]))
+			}
+			opt.ZeroGrad()
+			loss := tensor.BCEWithLogits(m.forward(xb), yb, posW)
+			loss.Backward()
+			opt.Step()
+		}
+		if len(Xval) > 0 && m.p.Patience > 0 {
+			vl := m.logloss(Xval, yval, posW)
+			if vl < bestVal-1e-5 {
+				bestVal = vl
+				sinceBest = 0
+				best = snapshot(m.params)
+			} else {
+				sinceBest++
+				if sinceBest >= m.p.Patience {
+					break
+				}
+			}
+		}
+	}
+	if best != nil {
+		restore(m.params, best)
+	}
+	return nil
+}
+
+func snapshot(params []*tensor.Tensor) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+func restore(params []*tensor.Tensor, snap [][]float64) {
+	for i, p := range params {
+		copy(p.Data, snap[i])
+	}
+}
+
+func (m *Model) logloss(X [][]float64, y []int, posW float64) float64 {
+	total := 0.0
+	for s := 0; s < len(X); s += 256 {
+		e := s + 256
+		if e > len(X) {
+			e = len(X)
+		}
+		logits := m.forward(X[s:e])
+		for i := 0; i < e-s; i++ {
+			p := 1 / (1 + math.Exp(-logits.Data[i]))
+			if y[s+i] == 1 {
+				total += -posW * math.Log(math.Max(p, 1e-12))
+			} else {
+				total += -math.Log(math.Max(1-p, 1e-12))
+			}
+		}
+	}
+	return total / float64(len(X))
+}
+
+// PredictProba returns class-1 probabilities for a batch.
+func (m *Model) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for s := 0; s < len(X); s += 256 {
+		e := s + 256
+		if e > len(X) {
+			e = len(X)
+		}
+		logits := m.forward(X[s:e])
+		for i := 0; i < e-s; i++ {
+			out[s+i] = 1 / (1 + math.Exp(-logits.Data[i]))
+		}
+	}
+	return out
+}
+
+// NumParams returns the trainable scalar count (for reporting).
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += len(p.Data)
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package gbdt
+
+import (
+	"container/heap"
+
+	"memfp/internal/ml/tree"
+)
+
+// Leaf-wise tree growth: repeatedly split the leaf with the largest gain
+// until MaxLeaves is reached — LightGBM's growth strategy, in contrast to
+// level-wise GBMs. Split gain and leaf values use the standard
+// second-order formulation:
+//
+//	gain  = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)
+//	value = −G/(H+λ)
+
+// candidate is a leaf eligible for splitting.
+type candidate struct {
+	node       *tree.Node
+	idx        []int
+	depth      int
+	gain       float64
+	feat, bin  int
+	sumG, sumH float64
+}
+
+// candHeap is a max-heap over split gain.
+type candHeap []*candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(*candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// growTree builds one leaf-wise tree over the sampled rows and features.
+func growTree(bins [][]uint8, grad, hess []float64, idx, feats []int,
+	mapper *tree.BinMapper, p Params) *tree.Node {
+
+	sumG, sumH := 0.0, 0.0
+	for _, i := range idx {
+		sumG += grad[i]
+		sumH += hess[i]
+	}
+	root := &tree.Node{Leaf: true, Value: -sumG / (sumH + p.Lambda), N: len(idx)}
+
+	h := &candHeap{}
+	if c := evalLeaf(bins, grad, hess, idx, feats, mapper, p, root, 0, sumG, sumH); c != nil {
+		heap.Push(h, c)
+	}
+	leaves := 1
+	for leaves < p.MaxLeaves && h.Len() > 0 {
+		c := heap.Pop(h).(*candidate)
+		left, right := partition(bins, c.idx, c.feat, c.bin)
+		if len(left) < p.MinLeaf || len(right) < p.MinLeaf {
+			continue
+		}
+		lG, lH := 0.0, 0.0
+		for _, i := range left {
+			lG += grad[i]
+			lH += hess[i]
+		}
+		rG, rH := c.sumG-lG, c.sumH-lH
+
+		c.node.Leaf = false
+		c.node.Feature = c.feat
+		c.node.Threshold = mapper.Threshold(c.feat, c.bin)
+		c.node.Left = &tree.Node{Leaf: true, Value: -lG / (lH + p.Lambda), N: len(left)}
+		c.node.Right = &tree.Node{Leaf: true, Value: -rG / (rH + p.Lambda), N: len(right)}
+		leaves++
+
+		if c.depth+1 < p.MaxDepth {
+			if lc := evalLeaf(bins, grad, hess, left, feats, mapper, p, c.node.Left, c.depth+1, lG, lH); lc != nil {
+				heap.Push(h, lc)
+			}
+			if rc := evalLeaf(bins, grad, hess, right, feats, mapper, p, c.node.Right, c.depth+1, rG, rH); rc != nil {
+				heap.Push(h, rc)
+			}
+		}
+	}
+	return root
+}
+
+func partition(bins [][]uint8, idx []int, feat, bin int) (left, right []int) {
+	for _, i := range idx {
+		if bins[i][feat] <= uint8(bin) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// evalLeaf finds the best split for a leaf, returning nil when no split
+// clears the constraints.
+func evalLeaf(bins [][]uint8, grad, hess []float64, idx, feats []int,
+	mapper *tree.BinMapper, p Params, node *tree.Node, depth int, sumG, sumH float64) *candidate {
+
+	if len(idx) < 2*p.MinLeaf {
+		return nil
+	}
+	parentScore := sumG * sumG / (sumH + p.Lambda)
+	var histG [tree.MaxBins + 1]float64
+	var histH [tree.MaxBins + 1]float64
+	var histN [tree.MaxBins + 1]int
+
+	best := &candidate{node: node, idx: idx, depth: depth, feat: -1, sumG: sumG, sumH: sumH}
+	for _, f := range feats {
+		nb := mapper.Bins(f)
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			histG[b], histH[b], histN[b] = 0, 0, 0
+		}
+		for _, i := range idx {
+			b := bins[i][f]
+			histG[b] += grad[i]
+			histH[b] += hess[i]
+			histN[b]++
+		}
+		lG, lH, lN := 0.0, 0.0, 0
+		for cut := 0; cut < nb-1; cut++ {
+			lG += histG[cut]
+			lH += histH[cut]
+			lN += histN[cut]
+			rN := len(idx) - lN
+			if lN < p.MinLeaf || rN < p.MinLeaf {
+				continue
+			}
+			rG, rH := sumG-lG, sumH-lH
+			if lH < p.MinChildHess || rH < p.MinChildHess {
+				continue
+			}
+			gain := lG*lG/(lH+p.Lambda) + rG*rG/(rH+p.Lambda) - parentScore
+			if gain > best.gain {
+				best.gain = gain
+				best.feat = f
+				best.bin = cut
+			}
+		}
+	}
+	if best.feat < 0 || best.gain <= 1e-9 {
+		return nil
+	}
+	return best
+}

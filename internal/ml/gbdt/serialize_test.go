@@ -1,0 +1,42 @@
+package gbdt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	X, y := synth(1500, 11)
+	p := DefaultParams()
+	p.Rounds = 40
+	m, err := Fit(X, y, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rounds != m.Rounds || back.BasePred != m.BasePred || back.Dim != m.Dim {
+		t.Fatalf("metadata changed: %+v vs %+v", back, m)
+	}
+	for i := 0; i < 200; i++ {
+		if got, want := back.PredictProba(X[i]), m.PredictProba(X[i]); got != want {
+			t.Fatalf("prediction %d changed after round trip: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongFormat(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"format":"other"}`)); err == nil {
+		t.Error("wrong format should be rejected")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}

@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks on
+// multiple goroutines when the work (rows × workPerRow) is large enough to
+// amortize the scheduling cost. Chunks write disjoint output rows, so the
+// result is identical to the serial execution.
+func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
+	const minWork = 1 << 15
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows*workPerRow < minWork {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

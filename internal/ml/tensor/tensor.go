@@ -1,0 +1,434 @@
+// Package tensor is a small reverse-mode automatic-differentiation engine
+// over dense row-major float64 matrices — just enough to train the
+// FT-Transformer of §VI from scratch with stdlib only. All tensors are 2-D
+// ([rows × cols]); batched attention is provided as a fused operator so
+// the graph never needs higher-rank shapes.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"memfp/internal/xrand"
+)
+
+// Tensor is a matrix node in the autodiff graph.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+	requires   bool
+	back       func()
+	prev       []*Tensor
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps row-major data (not copied).
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Param marks the tensor as trainable (gradients accumulate).
+func (t *Tensor) Param() *Tensor {
+	t.requires = true
+	t.Grad = make([]float64, len(t.Data))
+	return t
+}
+
+// RequiresGrad reports whether the tensor participates in backprop.
+func (t *Tensor) RequiresGrad() bool { return t.requires }
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// ensureGrad lazily allocates the gradient buffer.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// child builds a result tensor wired into the graph.
+func child(rows, cols int, parents ...*Tensor) *Tensor {
+	out := New(rows, cols)
+	for _, p := range parents {
+		if p.requires {
+			out.requires = true
+			break
+		}
+	}
+	out.prev = parents
+	return out
+}
+
+// NewOp creates a graph node with the given parents, for fused custom
+// operators defined outside this package (e.g. a feature tokenizer).
+// The caller fills Data and installs the backward with SetBack.
+func NewOp(rows, cols int, parents ...*Tensor) *Tensor {
+	return child(rows, cols, parents...)
+}
+
+// SetBack installs the backward closure of a custom op. The closure must
+// accumulate into the parents' Grad buffers (parents created with Param
+// already have them allocated).
+func (t *Tensor) SetBack(f func()) { t.back = f }
+
+// Backward runs reverse-mode differentiation from t (typically a 1×1
+// loss), seeding d(t)/d(t) = 1.
+func (t *Tensor) Backward() {
+	order := []*Tensor{}
+	seen := map[*Tensor]bool{}
+	var topo func(*Tensor)
+	topo = func(n *Tensor) {
+		if seen[n] || !n.requires {
+			return
+		}
+		seen[n] = true
+		for _, p := range n.prev {
+			topo(p)
+		}
+		order = append(order, n)
+	}
+	topo(t)
+	t.ensureGrad()
+	for i := range t.Grad {
+		t.Grad[i] = 1
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].back != nil {
+			order[i].back()
+		}
+	}
+}
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := child(a.Rows, b.Cols, a, b)
+	matmulInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, false, false)
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad()
+			// dA += dOut · Bᵀ
+			matmulAccum(a.Grad, out.Grad, b.Data, a.Rows, b.Cols, a.Cols, false, true)
+		}
+		if b.requires {
+			b.ensureGrad()
+			// dB += Aᵀ · dOut
+			matmulAccum(b.Grad, a.Data, out.Grad, a.Cols, a.Rows, b.Cols, true, false)
+		}
+	}
+	return out
+}
+
+// matmulInto computes c = a·b with optional transposes, overwriting c.
+func matmulInto(c, a, b []float64, m, k, n int, ta, tb bool) {
+	for i := range c {
+		c[i] = 0
+	}
+	matmulAccum(c, a, b, m, k, n, ta, tb)
+}
+
+// matmulAccum computes c += op(a)·op(b) where op(a) is m×k and op(b) is
+// k×n. When ta, a is stored k×m; when tb, b is stored n×k. Large products
+// are parallelized across disjoint output-row chunks, which keeps the
+// result bit-identical to the serial computation.
+func matmulAccum(c, a, b []float64, m, k, n int, ta, tb bool) {
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				var av float64
+				if ta {
+					av = a[p*m+i]
+				} else {
+					av = a[i*k+p]
+				}
+				if av == 0 {
+					continue
+				}
+				if tb {
+					for j := 0; j < n; j++ {
+						ci[j] += av * b[j*k+p]
+					}
+				} else {
+					bp := b[p*n : (p+1)*n]
+					for j := 0; j < n; j++ {
+						ci[j] += av * bp[j]
+					}
+				}
+			}
+		}
+	}
+	parallelRows(m, k*n, rowRange)
+}
+
+// Add returns a+b. b may be 1×cols (row broadcast).
+func Add(a, b *Tensor) *Tensor {
+	broadcast := b.Rows == 1 && a.Rows != 1
+	if !broadcast && (a.Rows != b.Rows || a.Cols != b.Cols) {
+		panic(fmt.Sprintf("tensor: add %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if broadcast && a.Cols != b.Cols {
+		panic("tensor: broadcast add column mismatch")
+	}
+	out := child(a.Rows, a.Cols, a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			bv := b.Data[j]
+			if !broadcast {
+				bv = b.Data[i*b.Cols+j]
+			}
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + bv
+		}
+	}
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+		if b.requires {
+			b.ensureGrad()
+			if broadcast {
+				for i := 0; i < a.Rows; i++ {
+					for j := 0; j < a.Cols; j++ {
+						b.Grad[j] += out.Grad[i*a.Cols+j]
+					}
+				}
+			} else {
+				for i := range b.Grad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns a*s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * s
+	}
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += s * out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// GELU applies the Gaussian error linear unit elementwise (tanh
+// approximation, as used by transformer implementations).
+func GELU(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range a.Data {
+		out.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		a.ensureGrad()
+		for i, x := range a.Data {
+			u := c * (x + 0.044715*x*x*x)
+			th := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x*x)
+			d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
+			a.Grad[i] += d * out.Grad[i]
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, x := range a.Data {
+		if x > 0 {
+			out.Data[i] = x
+		}
+	}
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		a.ensureGrad()
+		for i, x := range a.Data {
+			if x > 0 {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance then applies
+// a learned elementwise affine (gamma, beta are 1×cols).
+func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
+	if gamma.Cols != a.Cols || beta.Cols != a.Cols {
+		panic("tensor: layernorm parameter shape mismatch")
+	}
+	out := child(a.Rows, a.Cols, a, gamma, beta)
+	n := float64(a.Cols)
+	means := make([]float64, a.Rows)
+	invstd := make([]float64, a.Rows)
+	xhat := make([]float64, len(a.Data))
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		mu := 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= n
+		va := 0.0
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= n
+		is := 1 / math.Sqrt(va+eps)
+		means[i], invstd[i] = mu, is
+		for j, v := range row {
+			xh := (v - mu) * is
+			xhat[i*a.Cols+j] = xh
+			out.Data[i*a.Cols+j] = xh*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	out.back = func() {
+		for i := 0; i < a.Rows; i++ {
+			base := i * a.Cols
+			if gamma.requires {
+				gamma.ensureGrad()
+				for j := 0; j < a.Cols; j++ {
+					gamma.Grad[j] += out.Grad[base+j] * xhat[base+j]
+				}
+			}
+			if beta.requires {
+				beta.ensureGrad()
+				for j := 0; j < a.Cols; j++ {
+					beta.Grad[j] += out.Grad[base+j]
+				}
+			}
+			if a.requires {
+				a.ensureGrad()
+				// dL/dx via the standard layernorm backward.
+				sumDy, sumDyXhat := 0.0, 0.0
+				for j := 0; j < a.Cols; j++ {
+					dy := out.Grad[base+j] * gamma.Data[j]
+					sumDy += dy
+					sumDyXhat += dy * xhat[base+j]
+				}
+				for j := 0; j < a.Cols; j++ {
+					dy := out.Grad[base+j] * gamma.Data[j]
+					a.Grad[base+j] += invstd[i] * (dy - sumDy/n - xhat[base+j]*sumDyXhat/n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Rows selects a subset of rows (gather). Used to pull CLS tokens out of
+// the flattened token matrix.
+func Rows(a *Tensor, idx []int) *Tensor {
+	out := child(len(idx), a.Cols, a)
+	for i, r := range idx {
+		copy(out.Data[i*a.Cols:(i+1)*a.Cols], a.Data[r*a.Cols:(r+1)*a.Cols])
+	}
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		a.ensureGrad()
+		for i, r := range idx {
+			for j := 0; j < a.Cols; j++ {
+				a.Grad[r*a.Cols+j] += out.Grad[i*a.Cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// BCEWithLogits computes mean binary cross-entropy between logits (n×1)
+// and labels, optionally weighting positives by posWeight. Returns a 1×1
+// loss tensor.
+func BCEWithLogits(logits *Tensor, y []float64, posWeight float64) *Tensor {
+	if logits.Cols != 1 || logits.Rows != len(y) {
+		panic("tensor: BCE shape mismatch")
+	}
+	out := child(1, 1, logits)
+	n := float64(len(y))
+	total := 0.0
+	probs := make([]float64, len(y))
+	weights := make([]float64, len(y))
+	for i, z := range logits.Data {
+		p := 1 / (1 + math.Exp(-z))
+		probs[i] = p
+		w := 1.0
+		if y[i] == 1 {
+			w = posWeight
+		}
+		weights[i] = w
+		// Numerically stable logloss.
+		if y[i] == 1 {
+			total += -w * math.Log(math.Max(p, 1e-12))
+		} else {
+			total += -w * math.Log(math.Max(1-p, 1e-12))
+		}
+	}
+	out.Data[0] = total / n
+	out.back = func() {
+		if !logits.requires {
+			return
+		}
+		logits.ensureGrad()
+		for i := range y {
+			logits.Grad[i] += out.Grad[0] * weights[i] * (probs[i] - y[i]) / n
+		}
+	}
+	return out
+}
+
+// XavierInit fills the tensor with Xavier/Glorot uniform values.
+func XavierInit(t *Tensor, rng *xrand.RNG) *Tensor {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return t
+}
+
+// NormalInit fills the tensor with N(0, std²) values.
+func NormalInit(t *Tensor, std float64, rng *xrand.RNG) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}

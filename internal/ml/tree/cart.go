@@ -1,0 +1,199 @@
+package tree
+
+import (
+	"math"
+
+	"memfp/internal/xrand"
+)
+
+// Node is one CART node. Leaves carry the mean target of their samples —
+// for 0/1 targets this is the class-1 probability (variance splitting on
+// binary targets selects the same splits as Gini impurity).
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+	Leaf      bool
+	Value     float64
+	N         int
+}
+
+// Params controls CART growth.
+type Params struct {
+	MaxDepth    int     // maximum depth (root = 0)
+	MinLeaf     int     // minimum samples per leaf
+	FeatureFrac float64 // fraction of features considered per split (1 = all)
+	MinGain     float64 // minimum variance reduction to accept a split
+}
+
+// DefaultParams returns sensible classification defaults.
+func DefaultParams() Params {
+	return Params{MaxDepth: 14, MinLeaf: 5, FeatureFrac: 1.0, MinGain: 1e-7}
+}
+
+// Build grows a variance-reduction CART on binned features. idx selects
+// the training rows (callers pass bootstrap samples); rng drives feature
+// subsampling and may be nil when FeatureFrac >= 1.
+func Build(bins [][]uint8, y []float64, idx []int, m *BinMapper, p Params, rng *xrand.RNG) *Node {
+	if len(idx) == 0 {
+		return &Node{Leaf: true, Value: 0}
+	}
+	b := &builder{bins: bins, y: y, mapper: m, p: p, rng: rng}
+	return b.grow(idx, 0)
+}
+
+type builder struct {
+	bins   [][]uint8
+	y      []float64
+	mapper *BinMapper
+	p      Params
+	rng    *xrand.RNG
+}
+
+func (b *builder) grow(idx []int, depth int) *Node {
+	sum, sq := 0.0, 0.0
+	for _, i := range idx {
+		v := b.y[i]
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	node := &Node{Leaf: true, Value: mean, N: len(idx)}
+	if depth >= b.p.MaxDepth || len(idx) < 2*b.p.MinLeaf {
+		return node
+	}
+	variance := sq/n - mean*mean
+	if variance <= 1e-12 {
+		return node
+	}
+
+	feat, bin, gain := b.bestSplit(idx, sum)
+	if feat < 0 || gain < b.p.MinGain {
+		return node
+	}
+
+	left := make([]int, 0, len(idx)/2)
+	right := make([]int, 0, len(idx)/2)
+	for _, i := range idx {
+		if b.bins[i][feat] <= uint8(bin) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.p.MinLeaf || len(right) < b.p.MinLeaf {
+		return node
+	}
+	node.Leaf = false
+	node.Feature = feat
+	node.Threshold = b.mapper.Threshold(feat, bin)
+	node.Left = b.grow(left, depth+1)
+	node.Right = b.grow(right, depth+1)
+	return node
+}
+
+// bestSplit scans feature histograms for the split maximizing variance
+// reduction, equivalently maximizing sumL²/nL + sumR²/nR.
+func (b *builder) bestSplit(idx []int, totalSum float64) (feat, bin int, gain float64) {
+	dim := len(b.bins[0])
+	feats := b.featureSubset(dim)
+	n := float64(len(idx))
+	base := totalSum * totalSum / n
+
+	bestFeat, bestBin, bestScore := -1, -1, base
+	var cnt [MaxBins + 1]int
+	var sum [MaxBins + 1]float64
+	for _, f := range feats {
+		nb := b.mapper.Bins(f)
+		if nb < 2 {
+			continue
+		}
+		for i := 0; i < nb; i++ {
+			cnt[i] = 0
+			sum[i] = 0
+		}
+		for _, i := range idx {
+			bi := b.bins[i][f]
+			cnt[bi]++
+			sum[bi] += b.y[i]
+		}
+		cl, sl := 0, 0.0
+		for cut := 0; cut < nb-1; cut++ {
+			cl += cnt[cut]
+			sl += sum[cut]
+			cr := len(idx) - cl
+			if cl < b.p.MinLeaf || cr < b.p.MinLeaf {
+				continue
+			}
+			sr := totalSum - sl
+			score := sl*sl/float64(cl) + sr*sr/float64(cr)
+			if score > bestScore {
+				bestScore, bestFeat, bestBin = score, f, cut
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return -1, -1, 0
+	}
+	return bestFeat, bestBin, (bestScore - base) / n
+}
+
+func (b *builder) featureSubset(dim int) []int {
+	if b.p.FeatureFrac >= 1 || b.rng == nil {
+		out := make([]int, dim)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	k := int(math.Max(1, math.Round(b.p.FeatureFrac*float64(dim))))
+	return b.rng.SampleWithoutReplacement(dim, k)
+}
+
+// Predict walks the tree on a raw (unbinned) feature vector.
+func (n *Node) Predict(x []float64) float64 {
+	for !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// Depth returns the maximum depth of the tree.
+func (n *Node) Depth() int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves counts leaf nodes.
+func (n *Node) Leaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return n.Left.Leaves() + n.Right.Leaves()
+}
+
+// WalkFeatures accumulates per-feature split counts into counts (used for
+// feature importance).
+func (n *Node) WalkFeatures(counts []int) {
+	if n == nil || n.Leaf {
+		return
+	}
+	counts[n.Feature]++
+	n.Left.WalkFeatures(counts)
+	n.Right.WalkFeatures(counts)
+}

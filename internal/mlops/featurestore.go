@@ -1,0 +1,134 @@
+// Package mlops implements the paper's Figure 6 MLOps framework for memory
+// failure prediction: a feature store with batch and stream
+// transformation, a model registry with staged promotion through a CI/CD
+// gate, an online prediction server over a live event stream, and
+// monitoring with drift detection and outcome feedback.
+package mlops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"memfp/internal/features"
+	"memfp/internal/trace"
+)
+
+// FeatureKind categorizes registry entries, mirroring the paper's
+// temporal / spatial / static feature taxonomy.
+type FeatureKind string
+
+// Feature kinds.
+const (
+	KindTemporal FeatureKind = "temporal"
+	KindSpatial  FeatureKind = "spatial"
+	KindBitLevel FeatureKind = "bit-level"
+	KindStatic   FeatureKind = "static"
+)
+
+// FeatureDef is one cataloged feature.
+type FeatureDef struct {
+	Name        string
+	Kind        FeatureKind
+	Description string
+	Index       int // position in the served vector
+}
+
+// FeatureStore is the centralized feature repository: it catalogs feature
+// definitions (registry), computes them in batch for training, and serves
+// them per-DIMM for online prediction. Safe for concurrent use.
+type FeatureStore struct {
+	mu        sync.RWMutex
+	defs      map[string]FeatureDef
+	extractor *features.Extractor
+}
+
+// NewFeatureStore builds the store with the full §VI feature catalog
+// registered.
+func NewFeatureStore() *FeatureStore {
+	fs := &FeatureStore{
+		defs:      map[string]FeatureDef{},
+		extractor: features.NewExtractor(),
+	}
+	kind := func(name string) FeatureKind {
+		switch {
+		case name == "ce_15m" || name == "ce_1h" || name == "ce_6h" || name == "ce_1d" ||
+			name == "ce_5d" || name == "ce_total" || name == "ce_rate_accel" ||
+			name == "storms_5d" || name == "storms_total" ||
+			name == "mins_since_first_ce" || name == "mins_since_last_ce" || name == "active_days_5d":
+			return KindTemporal
+		case len(name) > 5 && (name[:5] == "frac_" || name[:4] == "dom_") ||
+			name == "mean_bits" || name == "max_bits":
+			return KindBitLevel
+		case name == "vendor_a" || name == "vendor_b" || name == "vendor_c" ||
+			name == "vendor_d" || name == "width_x8" || name == "speed_mts" ||
+			name == "process_nm" || name == "capacity_gib":
+			return KindStatic
+		default:
+			return KindSpatial
+		}
+	}
+	for i, n := range features.Names() {
+		fs.defs[n] = FeatureDef{Name: n, Kind: kind(n), Description: "see features package", Index: i}
+	}
+	return fs
+}
+
+// Register adds or updates a feature definition (Data Scientists "request
+// new feature" path in Figure 6).
+func (fs *FeatureStore) Register(def FeatureDef) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.defs[def.Name] = def
+}
+
+// Definitions lists the catalog sorted by served index.
+func (fs *FeatureStore) Definitions() []FeatureDef {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]FeatureDef, 0, len(fs.defs))
+	for _, d := range fs.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// ByKind returns the catalog entries of one kind.
+func (fs *FeatureStore) ByKind(k FeatureKind) []FeatureDef {
+	var out []FeatureDef
+	for _, d := range fs.Definitions() {
+		if d.Kind == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BatchTransform computes training samples for a full store of logs — the
+// "batch" path feeding model training.
+func (fs *FeatureStore) BatchTransform(s *trace.Store, cfg features.SamplerConfig) []features.Sample {
+	return features.BuildAll(fs.extractor, cfg, s)
+}
+
+// ServeVector computes the live feature vector for one DIMM at time t —
+// the "stream" path feeding online prediction.
+func (fs *FeatureStore) ServeVector(l *trace.DIMMLog, t trace.Minutes) []float64 {
+	return fs.extractor.Extract(l, t)
+}
+
+// SelectIndices maps a feature-name selection to vector indices,
+// supporting Data Scientists' on-demand feature selection.
+func (fs *FeatureStore) SelectIndices(names []string) ([]int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		d, ok := fs.defs[n]
+		if !ok {
+			return nil, fmt.Errorf("mlops: unknown feature %q", n)
+		}
+		out = append(out, d.Index)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package mlops
+
+import (
+	"context"
+	"testing"
+
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/features"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+func TestFeatureStoreCatalog(t *testing.T) {
+	fs := NewFeatureStore()
+	defs := fs.Definitions()
+	if len(defs) != features.Dim() {
+		t.Fatalf("catalog has %d features, want %d", len(defs), features.Dim())
+	}
+	// Indices must be the served positions, in order.
+	for i, d := range defs {
+		if d.Index != i {
+			t.Fatalf("definition %s at index %d, want %d", d.Name, d.Index, i)
+		}
+	}
+	// Every kind must be represented.
+	for _, k := range []FeatureKind{KindTemporal, KindSpatial, KindBitLevel, KindStatic} {
+		if len(fs.ByKind(k)) == 0 {
+			t.Errorf("no features of kind %s", k)
+		}
+	}
+}
+
+func TestFeatureStoreSelect(t *testing.T) {
+	fs := NewFeatureStore()
+	idx, err := fs.SelectIndices([]string{"ce_5d", "vendor_a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("selected %d", len(idx))
+	}
+	if _, err := fs.SelectIndices([]string{"nope"}); err == nil {
+		t.Error("unknown feature should error")
+	}
+}
+
+func TestFeatureStoreRegister(t *testing.T) {
+	fs := NewFeatureStore()
+	fs.Register(FeatureDef{Name: "custom_metric", Kind: KindTemporal, Index: 999})
+	if _, err := fs.SelectIndices([]string{"custom_metric"}); err != nil {
+		t.Error("registered feature should resolve")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	s := ScorerFunc(func(x []float64) float64 { return 0.5 })
+	v1 := r.Register("m", platform.Purley, "gbdt", s, eval.Metrics{F1: 0.5, Precision: 0.5}, 0.5)
+	if v1.Version != 1 || v1.Stage != StageStaging {
+		t.Fatalf("v1: %+v", v1)
+	}
+	if _, err := r.Production("m"); err == nil {
+		t.Error("no production version yet")
+	}
+	if err := r.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Production("m")
+	if err != nil || p.Version != 1 {
+		t.Fatalf("production: %v %v", p, err)
+	}
+	v2 := r.Register("m", platform.Purley, "gbdt", s, eval.Metrics{F1: 0.6, Precision: 0.5}, 0.5)
+	if err := r.Promote("m", v2.Version); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = r.Production("m")
+	if p.Version != 2 {
+		t.Errorf("production should be v2, got v%d", p.Version)
+	}
+	if v1.Stage != StageArchived {
+		t.Errorf("v1 should be archived, is %s", v1.Stage)
+	}
+	if err := r.Promote("m", 99); err == nil {
+		t.Error("promoting unknown version should error")
+	}
+	if len(r.List()) != 2 {
+		t.Errorf("list has %d entries", len(r.List()))
+	}
+}
+
+func TestPromotionGate(t *testing.T) {
+	g := DefaultGate()
+	cand := &ModelVersion{Metrics: eval.Metrics{F1: 0.5, Precision: 0.4}}
+	ok, _ := g.Decide(nil, cand)
+	if !ok {
+		t.Error("bootstrap should promote")
+	}
+	cur := &ModelVersion{Metrics: eval.Metrics{F1: 0.5, Precision: 0.4}}
+	ok, _ = g.Decide(cur, &ModelVersion{Metrics: eval.Metrics{F1: 0.505, Precision: 0.4}})
+	if ok {
+		t.Error("insufficient gain should not promote")
+	}
+	ok, _ = g.Decide(cur, &ModelVersion{Metrics: eval.Metrics{F1: 0.6, Precision: 0.4}})
+	if !ok {
+		t.Error("clear gain should promote")
+	}
+	ok, reason := g.Decide(cur, &ModelVersion{Metrics: eval.Metrics{F1: 0.9, Precision: 0.1}})
+	if ok {
+		t.Errorf("precision floor should block (%s)", reason)
+	}
+}
+
+func TestMonitorPSI(t *testing.T) {
+	m := NewMonitor()
+	ref := make([]float64, 1000)
+	for i := range ref {
+		ref[i] = float64(i%10) / 10.0
+	}
+	m.SetReferenceScores(ref)
+	// Same distribution → PSI ≈ 0.
+	for _, s := range ref {
+		m.CountPrediction(s)
+	}
+	if psi := m.PSI(); psi > 0.01 {
+		t.Errorf("identical distribution PSI %v", psi)
+	}
+	// Shifted distribution → large PSI.
+	m2 := NewMonitor()
+	m2.SetReferenceScores(ref)
+	for i := 0; i < 1000; i++ {
+		m2.CountPrediction(0.95)
+	}
+	if psi := m2.PSI(); psi < 0.25 {
+		t.Errorf("shifted distribution PSI %v, want > 0.25", psi)
+	}
+}
+
+func TestMonitorRetrainDecision(t *testing.T) {
+	m := NewMonitor()
+	m.SetReferenceScores([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	for i := 0; i < 100; i++ {
+		m.CountPrediction(0.99)
+	}
+	dec := m.ShouldRetrain(0.25, 0.2)
+	if !dec.Retrain {
+		t.Errorf("drift should trigger retraining: %+v", dec)
+	}
+	// Precision collapse path.
+	m2 := NewMonitor()
+	m2.Feedback(1, 20, 3)
+	dec2 := m2.ShouldRetrain(10, 0.2)
+	if !dec2.Retrain {
+		t.Errorf("precision collapse should trigger retraining: %+v", dec2)
+	}
+	prec, rec := m2.LivePrecisionRecall()
+	if prec >= 0.2 || rec >= 0.5 {
+		t.Errorf("live P=%v R=%v", prec, rec)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test generates a fleet")
+	}
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.03, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(platform.Purley)
+	pipe.Seed = 31
+	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Promoted {
+		t.Fatalf("bootstrap training should promote: %s", tr.Reason)
+	}
+	if _, err := pipe.Registry.Production(pipe.ModelName); err != nil {
+		t.Fatal(err)
+	}
+
+	server := pipe.NewServer()
+	var alarms []Alarm
+	n, err := server.Replay(context.Background(), res.Store, func(a Alarm) { alarms = append(alarms, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no alarms over a fleet with UE DIMMs")
+	}
+	if n != len(alarms) {
+		t.Errorf("alarm count mismatch: %d vs %d", n, len(alarms))
+	}
+
+	failed := map[trace.DIMMID]trace.Minutes{}
+	for _, l := range res.Store.DIMMs() {
+		if ue, ok := l.FirstUE(); ok {
+			failed[l.ID] = ue
+		}
+	}
+	pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
+	prec, rec := pipe.Monitor.LivePrecisionRecall()
+	if prec == 0 && rec == 0 {
+		t.Error("feedback did not resolve any alarms")
+	}
+	if pipe.Monitor.Dashboard() == "" {
+		t.Error("empty dashboard")
+	}
+}
+
+func TestServerRejectsUnknownDIMM(t *testing.T) {
+	pipe := NewPipeline(platform.K920)
+	server := pipe.NewServer()
+	_, err := server.Ingest(trace.Event{
+		Time: 1, Type: trace.TypeCE,
+		DIMM: trace.DIMMID{Platform: platform.K920, Server: 1, Slot: 1},
+	})
+	if err == nil {
+		t.Error("ingest for unregistered DIMM should error")
+	}
+}
+
+func TestServerCooldown(t *testing.T) {
+	reg := NewRegistry()
+	always := ScorerFunc(func(x []float64) float64 { return 1.0 })
+	reg.Register("m", platform.Purley, "test", always, eval.Metrics{Precision: 1, F1: 1}, 0.5)
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(platform.Purley, NewFeatureStore(), reg, "m", nil)
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.DIMMID{Platform: platform.Purley, Server: 1, Slot: 1}
+	server.RegisterDIMM(id, part)
+	mk := func(tm trace.Minutes) trace.Event {
+		return trace.Event{Time: tm, Type: trace.TypeCE, DIMM: id}
+	}
+	a1, err := server.Ingest(mk(100))
+	if err != nil || a1 == nil {
+		t.Fatalf("first ingest: %v %v", a1, err)
+	}
+	// Within cooldown: suppressed.
+	a2, err := server.Ingest(mk(100 + 2*trace.Hour))
+	if err != nil || a2 != nil {
+		t.Fatalf("cooldown violated: %v %v", a2, err)
+	}
+	// Past cooldown: fires again.
+	a3, err := server.Ingest(mk(100 + 13*trace.Hour))
+	if err != nil || a3 == nil {
+		t.Fatalf("post-cooldown alarm missing: %v %v", a3, err)
+	}
+}

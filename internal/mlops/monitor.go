@@ -1,0 +1,186 @@
+package mlops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"memfp/internal/trace"
+)
+
+// sortSlice is a tiny generic sort helper.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// Monitor implements the Monitoring boxes of Figure 6: ingestion and
+// prediction counters, score-distribution drift (PSI against a training
+// reference), and outcome feedback that measures live precision/recall
+// and decides when retraining is warranted. Safe for concurrent use.
+type Monitor struct {
+	mu sync.Mutex
+
+	EventsIngested map[trace.EventType]int
+	Predictions    int
+	Alarms         []Alarm
+
+	scoreBins  []float64 // live score histogram (10 buckets)
+	refBins    []float64 // reference (training-time) histogram
+	refSamples float64
+
+	// Feedback: alarm outcomes resolved against later UEs.
+	resolvedTP, resolvedFP int
+	missedFN               int
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		EventsIngested: map[trace.EventType]int{},
+		scoreBins:      make([]float64, 10),
+		refBins:        make([]float64, 10),
+	}
+}
+
+// SetReferenceScores records the training-time score distribution used as
+// the PSI drift baseline.
+func (m *Monitor) SetReferenceScores(scores []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.refBins {
+		m.refBins[i] = 0
+	}
+	for _, s := range scores {
+		m.refBins[bucket(s)]++
+	}
+	m.refSamples = float64(len(scores))
+}
+
+func bucket(score float64) int {
+	b := int(score * 10)
+	if b < 0 {
+		b = 0
+	}
+	if b > 9 {
+		b = 9
+	}
+	return b
+}
+
+// CountEvent tallies one ingested event.
+func (m *Monitor) CountEvent(e trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.EventsIngested[e.Type]++
+}
+
+// CountPrediction tallies one model invocation.
+func (m *Monitor) CountPrediction(score float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Predictions++
+	m.scoreBins[bucket(score)]++
+}
+
+// CountAlarm tallies one emitted alarm.
+func (m *Monitor) CountAlarm(a Alarm) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Alarms = append(m.Alarms, a)
+}
+
+// PSI computes the population stability index between the live score
+// distribution and the reference. Values above ~0.25 conventionally
+// indicate significant drift.
+func (m *Monitor) PSI() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := 0.0
+	for _, v := range m.scoreBins {
+		live += v
+	}
+	if live == 0 || m.refSamples == 0 {
+		return 0
+	}
+	psi := 0.0
+	for i := range m.scoreBins {
+		p := (m.scoreBins[i] + 0.5) / (live + 5)
+		q := (m.refBins[i] + 0.5) / (m.refSamples + 5)
+		psi += (p - q) * math.Log(p/q)
+	}
+	return psi
+}
+
+// Feedback resolves alarms against ground outcomes once the prediction
+// window has elapsed: an alarm for a DIMM that failed within the window
+// is a TP, otherwise FP; a failure with no preceding alarm is an FN.
+func (m *Monitor) Feedback(tp, fp, fn int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolvedTP += tp
+	m.resolvedFP += fp
+	m.missedFN += fn
+}
+
+// LivePrecisionRecall returns the feedback-derived operating point.
+func (m *Monitor) LivePrecisionRecall() (prec, rec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.resolvedTP+m.resolvedFP > 0 {
+		prec = float64(m.resolvedTP) / float64(m.resolvedTP+m.resolvedFP)
+	}
+	if m.resolvedTP+m.missedFN > 0 {
+		rec = float64(m.resolvedTP) / float64(m.resolvedTP+m.missedFN)
+	}
+	return prec, rec
+}
+
+// RetrainDecision reports whether monitoring signals warrant retraining:
+// significant drift or live precision collapse.
+type RetrainDecision struct {
+	Retrain bool
+	Reason  string
+	PSI     float64
+}
+
+// ShouldRetrain applies the retraining policy.
+func (m *Monitor) ShouldRetrain(psiThreshold, minPrecision float64) RetrainDecision {
+	psi := m.PSI()
+	if psi > psiThreshold {
+		return RetrainDecision{Retrain: true, PSI: psi,
+			Reason: fmt.Sprintf("score drift PSI %.3f > %.3f", psi, psiThreshold)}
+	}
+	prec, _ := m.LivePrecisionRecall()
+	m.mu.Lock()
+	resolved := m.resolvedTP + m.resolvedFP
+	m.mu.Unlock()
+	if resolved >= 10 && prec < minPrecision {
+		return RetrainDecision{Retrain: true, PSI: psi,
+			Reason: fmt.Sprintf("live precision %.3f below %.3f", prec, minPrecision)}
+	}
+	return RetrainDecision{Retrain: false, PSI: psi, Reason: "healthy"}
+}
+
+// Dashboard renders a text status summary (the paper's monitoring
+// dashboards, in terminal form).
+func (m *Monitor) Dashboard() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString("=== MLOps Monitoring Dashboard ===\n")
+	fmt.Fprintf(&sb, "events ingested: CE=%d UE=%d storms=%d\n",
+		m.EventsIngested[trace.TypeCE], m.EventsIngested[trace.TypeUE], m.EventsIngested[trace.TypeStorm])
+	fmt.Fprintf(&sb, "predictions: %d, alarms: %d\n", m.Predictions, len(m.Alarms))
+	prec, rec := 0.0, 0.0
+	if m.resolvedTP+m.resolvedFP > 0 {
+		prec = float64(m.resolvedTP) / float64(m.resolvedTP+m.resolvedFP)
+	}
+	if m.resolvedTP+m.missedFN > 0 {
+		rec = float64(m.resolvedTP) / float64(m.resolvedTP+m.missedFN)
+	}
+	fmt.Fprintf(&sb, "feedback: TP=%d FP=%d FN=%d (live P=%.2f R=%.2f)\n",
+		m.resolvedTP, m.resolvedFP, m.missedFN, prec, rec)
+	return sb.String()
+}

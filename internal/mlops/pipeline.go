@@ -1,0 +1,133 @@
+package mlops
+
+import (
+	"fmt"
+
+	"memfp/internal/dataset"
+	"memfp/internal/eval"
+	"memfp/internal/features"
+	"memfp/internal/ml/gbdt"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+	"memfp/internal/xrand"
+)
+
+// Pipeline wires the Figure 6 stages together for one platform: data
+// pipeline (a trace.Store standing in for the data lake), feature store,
+// model training, CI/CD gate, registry, online serving, and monitoring.
+type Pipeline struct {
+	Platform platform.ID
+	Features *FeatureStore
+	Registry *Registry
+	Monitor  *Monitor
+	Gate     PromotionGate
+	// ModelName is the registry key for this platform's predictor.
+	ModelName string
+	// Training hyperparameters.
+	GBDTParams    gbdt.Params
+	NegativeRatio float64
+	Seed          uint64
+}
+
+// NewPipeline assembles a pipeline with defaults.
+func NewPipeline(pf platform.ID) *Pipeline {
+	return &Pipeline{
+		Platform:      pf,
+		Features:      NewFeatureStore(),
+		Registry:      NewRegistry(),
+		Monitor:       NewMonitor(),
+		Gate:          DefaultGate(),
+		ModelName:     fmt.Sprintf("memfp-%s", pf),
+		GBDTParams:    gbdt.DefaultParams(),
+		NegativeRatio: 4,
+		Seed:          1,
+	}
+}
+
+// TrainResult reports one training cycle.
+type TrainResult struct {
+	Version   *ModelVersion
+	Promoted  bool
+	Reason    string
+	Benchmark eval.Metrics
+}
+
+// TrainAndMaybePromote runs one CI/CD cycle: batch-transform the training
+// store, fit a model, benchmark it on the held-out tail, register the
+// version, and run the promotion gate.
+//
+// trainEnd/valEnd split the store's time range exactly like the offline
+// experiments; the validation tail doubles as the CI benchmark.
+func (p *Pipeline) TrainAndMaybePromote(store *trace.Store, trainEnd, valEnd trace.Minutes) (*TrainResult, error) {
+	samples := p.Features.BatchTransform(store, features.DefaultSamplerConfig())
+	ds := dataset.FromSamples(samples)
+	split, err := dataset.TimeSplit(ds, trainEnd, valEnd)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(p.Seed ^ 0xfeed)
+	train := dataset.Downsample(split.Train, p.NegativeRatio, rng)
+	dataset.Shuffle(train, rng)
+	if train.Positives() == 0 {
+		return nil, fmt.Errorf("mlops: no positive samples before %v", trainEnd)
+	}
+
+	params := p.GBDTParams
+	params.Seed = p.Seed
+	model, err := gbdt.Fit(train.X, train.Y, split.Val.X, split.Val.Y, params)
+	if err != nil {
+		return nil, err
+	}
+
+	vp := eval.DefaultVIRRParams()
+	valScores := model.PredictBatch(split.Val.X)
+	valDS := eval.AggregateByDIMM(split.Val.DIMMs, valScores, split.Val.Y)
+	th, bench := eval.BestF1Threshold(valDS, vp)
+	metrics := eval.Compute(eval.ConfusionAt(valDS, th), vp)
+	_ = bench
+
+	mv := p.Registry.Register(p.ModelName, p.Platform, "LightGBM",
+		ScorerFunc(model.PredictProba), metrics, th)
+	p.Monitor.SetReferenceScores(valScores)
+
+	promoted, reason, err := p.Registry.RunGate(p.ModelName, p.Gate)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainResult{Version: mv, Promoted: promoted, Reason: reason, Benchmark: metrics}, nil
+}
+
+// NewServer returns an online server bound to this pipeline's production
+// model, feature store and monitor.
+func (p *Pipeline) NewServer() *Server {
+	return NewServer(p.Platform, p.Features, p.Registry, p.ModelName, p.Monitor)
+}
+
+// ResolveAlarms replays ground outcomes into monitoring feedback: each
+// alarmed DIMM that fails within the prediction window is a TP, alarmed
+// DIMMs that never fail are FPs, failed DIMMs never alarmed are FNs.
+// Callers invoke it after the prediction window has elapsed.
+func (p *Pipeline) ResolveAlarms(alarms []Alarm, failed map[trace.DIMMID]trace.Minutes, window trace.Minutes) {
+	alarmed := map[trace.DIMMID]trace.Minutes{}
+	for _, a := range alarms {
+		if t, ok := alarmed[a.DIMM]; !ok || a.Time < t {
+			alarmed[a.DIMM] = a.Time
+		}
+	}
+	tp, fp := 0, 0
+	for dimm, at := range alarmed {
+		ue, ok := failed[dimm]
+		if ok && ue > at && ue-at <= window {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for dimm := range failed {
+		if _, ok := alarmed[dimm]; !ok {
+			fn++
+		}
+	}
+	p.Monitor.Feedback(tp, fp, fn)
+}

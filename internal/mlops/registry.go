@@ -1,0 +1,182 @@
+package mlops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"memfp/internal/eval"
+	"memfp/internal/platform"
+)
+
+// Scorer is the uniform inference interface all trained models expose to
+// the serving layer.
+type Scorer interface {
+	// Score returns the failure probability for one feature vector.
+	Score(x []float64) float64
+}
+
+// ScorerFunc adapts a function to Scorer.
+type ScorerFunc func(x []float64) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(x []float64) float64 { return f(x) }
+
+// Stage is a model lifecycle stage.
+type Stage string
+
+// Lifecycle stages.
+const (
+	StageStaging    Stage = "staging"
+	StageProduction Stage = "production"
+	StageArchived   Stage = "archived"
+)
+
+// ModelVersion is one registered model.
+type ModelVersion struct {
+	Name      string
+	Version   int
+	Platform  platform.ID
+	Algorithm string
+	Stage     Stage
+	Metrics   eval.Metrics // offline benchmark metrics at registration
+	Threshold float64      // tuned decision threshold
+	CreatedAt time.Time
+	Scorer    Scorer
+}
+
+// Registry is the model registry of Figure 6. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	versions map[string][]*ModelVersion // name → versions ascending
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{versions: map[string][]*ModelVersion{}}
+}
+
+// Register adds a new version in the staging stage and returns it.
+func (r *Registry) Register(name string, pf platform.ID, algo string,
+	scorer Scorer, metrics eval.Metrics, threshold float64) *ModelVersion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := &ModelVersion{
+		Name: name, Version: len(r.versions[name]) + 1,
+		Platform: pf, Algorithm: algo, Stage: StageStaging,
+		Metrics: metrics, Threshold: threshold,
+		CreatedAt: time.Now(), Scorer: scorer,
+	}
+	r.versions[name] = append(r.versions[name], v)
+	return v
+}
+
+// Promote moves a version to production, archiving any previous
+// production version of the same name.
+func (r *Registry) Promote(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.versions[name]
+	var target *ModelVersion
+	for _, v := range vs {
+		if v.Version == version {
+			target = v
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("mlops: model %s v%d not found", name, version)
+	}
+	for _, v := range vs {
+		if v.Stage == StageProduction {
+			v.Stage = StageArchived
+		}
+	}
+	target.Stage = StageProduction
+	return nil
+}
+
+// Production returns the current production version of a model, or an
+// error when none is deployed.
+func (r *Registry) Production(name string) (*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, v := range r.versions[name] {
+		if v.Stage == StageProduction {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("mlops: no production version of %s", name)
+}
+
+// Latest returns the newest version regardless of stage.
+func (r *Registry) Latest(name string) (*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.versions[name]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("mlops: unknown model %s", name)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// List returns all versions of all models, sorted by (name, version).
+func (r *Registry) List() []*ModelVersion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*ModelVersion
+	for _, vs := range r.versions {
+		out = append(out, vs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// PromotionGate is the CI/CD quality gate: a staged candidate replaces
+// production only when its benchmark F1 improves by at least MinF1Gain
+// and its precision does not regress below MinPrecision.
+type PromotionGate struct {
+	MinF1Gain    float64
+	MinPrecision float64
+}
+
+// DefaultGate requires a 0.01 F1 gain and ≥0.2 precision.
+func DefaultGate() PromotionGate { return PromotionGate{MinF1Gain: 0.01, MinPrecision: 0.2} }
+
+// Decide returns whether candidate should replace current (nil current
+// always promotes) and a human-readable reason.
+func (g PromotionGate) Decide(current *ModelVersion, candidate *ModelVersion) (bool, string) {
+	if candidate.Metrics.Precision < g.MinPrecision {
+		return false, fmt.Sprintf("precision %.3f below floor %.3f", candidate.Metrics.Precision, g.MinPrecision)
+	}
+	if current == nil {
+		return true, "no production model; bootstrapping"
+	}
+	gain := candidate.Metrics.F1 - current.Metrics.F1
+	if gain < g.MinF1Gain {
+		return false, fmt.Sprintf("F1 gain %.3f below required %.3f", gain, g.MinF1Gain)
+	}
+	return true, fmt.Sprintf("F1 improved %.3f → %.3f", current.Metrics.F1, candidate.Metrics.F1)
+}
+
+// RunGate evaluates the gate and promotes on success — one CI/CD cycle.
+func (r *Registry) RunGate(name string, gate PromotionGate) (bool, string, error) {
+	cand, err := r.Latest(name)
+	if err != nil {
+		return false, "", err
+	}
+	cur, _ := r.Production(name)
+	ok, reason := gate.Decide(cur, cand)
+	if ok {
+		if err := r.Promote(name, cand.Version); err != nil {
+			return false, reason, err
+		}
+	}
+	return ok, reason, nil
+}

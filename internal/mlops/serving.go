@@ -1,0 +1,167 @@
+package mlops
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Alarm is one online prediction above threshold — the input to the Cloud
+// Alarm System in Figure 6, which triggers RAS actions and VM migration.
+type Alarm struct {
+	Time  trace.Minutes
+	DIMM  trace.DIMMID
+	Score float64
+	Model string
+}
+
+// Mitigation is the RAS action taken for an alarm.
+type Mitigation string
+
+// RAS actions from §II-C.
+const (
+	MitigationLiveMigration Mitigation = "vm-live-migration"
+	MitigationColdMigration Mitigation = "vm-cold-migration"
+	MitigationPageOffline   Mitigation = "page-offlining"
+)
+
+// Server is the online prediction service: it ingests a time-ordered
+// event stream, maintains per-DIMM history, asks the production model for
+// a score at every prediction opportunity, and emits alarms. One Server
+// instance serves one platform.
+type Server struct {
+	Platform platform.ID
+	Store    *FeatureStore
+	Registry *Registry
+	Model    string // registry model name to serve
+	// PredictEvery throttles per-DIMM prediction frequency (the paper's
+	// Δip is 5 minutes; serving at each CE with a floor works identically
+	// on sparse streams).
+	PredictEvery trace.Minutes
+	// Cooldown suppresses repeat alarms for the same DIMM.
+	Cooldown trace.Minutes
+
+	mu        sync.Mutex
+	logs      map[trace.DIMMID]*trace.DIMMLog
+	lastPred  map[trace.DIMMID]trace.Minutes
+	lastAlarm map[trace.DIMMID]trace.Minutes
+	monitor   *Monitor
+}
+
+// NewServer builds a serving instance.
+func NewServer(pf platform.ID, fs *FeatureStore, reg *Registry, model string, mon *Monitor) *Server {
+	return &Server{
+		Platform:     pf,
+		Store:        fs,
+		Registry:     reg,
+		Model:        model,
+		PredictEvery: 5,
+		Cooldown:     12 * trace.Hour,
+		logs:         map[trace.DIMMID]*trace.DIMMLog{},
+		lastPred:     map[trace.DIMMID]trace.Minutes{},
+		lastAlarm:    map[trace.DIMMID]trace.Minutes{},
+		monitor:      mon,
+	}
+}
+
+// RegisterDIMM announces a DIMM's static attributes (from the asset
+// inventory) before its events can be served.
+func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.logs[id]; !ok {
+		s.logs[id] = &trace.DIMMLog{ID: id, Part: part}
+	}
+}
+
+// Ingest processes one event and returns an alarm when the production
+// model fires. A nil alarm means no action.
+func (s *Server) Ingest(e trace.Event) (*Alarm, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.logs[e.DIMM]
+	if !ok {
+		return nil, fmt.Errorf("mlops: event for unregistered DIMM %s", e.DIMM)
+	}
+	l.Events = append(l.Events, e)
+	if s.monitor != nil {
+		s.monitor.CountEvent(e)
+	}
+	if e.Type != trace.TypeCE {
+		return nil, nil
+	}
+	if e.Time-s.lastPred[e.DIMM] < s.PredictEvery {
+		return nil, nil
+	}
+	s.lastPred[e.DIMM] = e.Time
+
+	mv, err := s.Registry.Production(s.Model)
+	if err != nil {
+		return nil, err
+	}
+	x := s.Store.ServeVector(l, e.Time)
+	score := mv.Scorer.Score(x)
+	if s.monitor != nil {
+		s.monitor.CountPrediction(score)
+	}
+	if score < mv.Threshold {
+		return nil, nil
+	}
+	if e.Time-s.lastAlarm[e.DIMM] < s.Cooldown && s.lastAlarm[e.DIMM] > 0 {
+		return nil, nil
+	}
+	s.lastAlarm[e.DIMM] = e.Time
+	a := &Alarm{Time: e.Time, DIMM: e.DIMM, Score: score, Model: fmt.Sprintf("%s-v%d", mv.Name, mv.Version)}
+	if s.monitor != nil {
+		s.monitor.CountAlarm(*a)
+	}
+	return a, nil
+}
+
+// Replay streams a full store through the server in time order, invoking
+// onAlarm for each alarm; ctx cancels early. It returns the alarm count.
+// This is the offline-replay harness used by examples and benchmarks.
+func (s *Server) Replay(ctx context.Context, st *trace.Store, onAlarm func(Alarm)) (int, error) {
+	var all []trace.Event
+	for _, l := range st.DIMMs() {
+		s.RegisterDIMM(l.ID, l.Part)
+		all = append(all, l.Events...)
+	}
+	sortEvents(all)
+	n := 0
+	for _, e := range all {
+		select {
+		case <-ctx.Done():
+			return n, ctx.Err()
+		default:
+		}
+		a, err := s.Ingest(e)
+		if err != nil {
+			return n, err
+		}
+		if a != nil {
+			n++
+			if onAlarm != nil {
+				onAlarm(*a)
+			}
+		}
+	}
+	return n, nil
+}
+
+func sortEvents(es []trace.Event) {
+	// Events from DIMM logs are individually sorted; a global sort keeps
+	// the replay faithful to wall-clock arrival.
+	sortSlice(es, func(a, b trace.Event) bool {
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.DIMM != b.DIMM {
+			return a.DIMM.Less(b.DIMM)
+		}
+		return a.Type < b.Type
+	})
+}

@@ -1,0 +1,243 @@
+// Package trace defines the memory-error event records that flow from the
+// (simulated) BMC log collection into analysis and feature extraction:
+// correctable-error (CE) observations with decoded bit-level signatures,
+// uncorrectable-error (UE) events, and CE-storm events. It also provides an
+// in-memory, time-indexed event store and a BMC-style text log codec so the
+// data pipeline has a concrete serialization format to parse.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+)
+
+// Minutes is simulation time in minutes since the start of the observation
+// period (the paper's dataset spans January–October 2023).
+type Minutes int64
+
+// Convenient durations in Minutes.
+const (
+	Minute Minutes = 1
+	Hour   Minutes = 60
+	Day    Minutes = 24 * Hour
+)
+
+// ObservationSpan is the length of the simulated collection period:
+// January through October 2023 ≈ 273 days.
+const ObservationSpan = 273 * Day
+
+// String renders the time as d:hh:mm.
+func (m Minutes) String() string {
+	d := m / Day
+	h := (m % Day) / Hour
+	mm := m % Hour
+	return fmt.Sprintf("%dd%02dh%02dm", d, h, mm)
+}
+
+// EventType distinguishes log record kinds.
+type EventType int
+
+// Event kinds recorded by the BMC.
+const (
+	TypeCE EventType = iota
+	TypeUE
+	TypeStorm
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case TypeCE:
+		return "CE"
+	case TypeUE:
+		return "UE"
+	case TypeStorm:
+		return "CE_STORM"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// DIMMID uniquely identifies a DIMM in the fleet.
+type DIMMID struct {
+	Platform platform.ID
+	Server   int // server index within the platform fleet
+	Slot     int // DIMM slot within the server
+}
+
+// String implements fmt.Stringer.
+func (id DIMMID) String() string {
+	return fmt.Sprintf("%s/srv%06d/dimm%02d", id.Platform, id.Server, id.Slot)
+}
+
+// Less orders DIMM IDs lexicographically.
+func (id DIMMID) Less(o DIMMID) bool {
+	if id.Platform != o.Platform {
+		return id.Platform < o.Platform
+	}
+	if id.Server != o.Server {
+		return id.Server < o.Server
+	}
+	return id.Slot < o.Slot
+}
+
+// Event is one BMC log record. CE events carry the full decoded location
+// and bit signature; UE events carry the location only (the data was lost);
+// storm events mark suppression episodes.
+type Event struct {
+	Time Minutes
+	Type EventType
+	DIMM DIMMID
+	Addr dram.Addr      // error location (CE and UE)
+	Bits dram.ErrorBits // decoded DQ/beat signature (CE only)
+}
+
+// ByTime sorts events by (Time, DIMM, Type) for deterministic iteration.
+type ByTime []Event
+
+func (s ByTime) Len() int      { return len(s) }
+func (s ByTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s ByTime) Less(i, j int) bool {
+	if s[i].Time != s[j].Time {
+		return s[i].Time < s[j].Time
+	}
+	if s[i].DIMM != s[j].DIMM {
+		return s[i].DIMM.Less(s[j].DIMM)
+	}
+	return s[i].Type < s[j].Type
+}
+
+// DIMMLog is the time-ordered event history of one DIMM together with its
+// static part attributes — the unit of analysis for fault classification,
+// feature extraction, and labeling.
+type DIMMLog struct {
+	ID     DIMMID
+	Part   platform.DIMMPart
+	Events []Event // sorted by time
+}
+
+// SortEvents sorts the event slice in place by time.
+func (d *DIMMLog) SortEvents() { sort.Sort(ByTime(d.Events)) }
+
+// CEs returns the CE events (sharing the underlying array).
+func (d *DIMMLog) CEs() []Event { return d.eventsOf(TypeCE) }
+
+// UEs returns the UE events (sharing the underlying array).
+func (d *DIMMLog) UEs() []Event { return d.eventsOf(TypeUE) }
+
+func (d *DIMMLog) eventsOf(t EventType) []Event {
+	out := make([]Event, 0, len(d.Events))
+	for _, e := range d.Events {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FirstUE returns the time of the first UE and true, or (0, false) when the
+// DIMM never experienced a UE.
+func (d *DIMMLog) FirstUE() (Minutes, bool) {
+	for _, e := range d.Events {
+		if e.Type == TypeUE {
+			return e.Time, true
+		}
+	}
+	return 0, false
+}
+
+// FirstCE returns the time of the first CE and true, or (0, false).
+func (d *DIMMLog) FirstCE() (Minutes, bool) {
+	for _, e := range d.Events {
+		if e.Type == TypeCE {
+			return e.Time, true
+		}
+	}
+	return 0, false
+}
+
+// CEsBetween returns CE events with Time in [from, to).
+func (d *DIMMLog) CEsBetween(from, to Minutes) []Event {
+	out := []Event{}
+	for _, e := range d.Events {
+		if e.Type != TypeCE {
+			continue
+		}
+		if e.Time >= from && e.Time < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Store is an in-memory event store for a fleet: the "data lake" stage of
+// the paper's pipeline. It indexes logs per DIMM and keeps them sorted.
+type Store struct {
+	logs  map[DIMMID]*DIMMLog
+	order []DIMMID // insertion order for deterministic iteration
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{logs: make(map[DIMMID]*DIMMLog)}
+}
+
+// Register adds a DIMM with its part attributes. Registering twice is an
+// error to catch generator bugs.
+func (s *Store) Register(id DIMMID, part platform.DIMMPart) (*DIMMLog, error) {
+	if _, ok := s.logs[id]; ok {
+		return nil, fmt.Errorf("trace: DIMM %s registered twice", id)
+	}
+	l := &DIMMLog{ID: id, Part: part}
+	s.logs[id] = l
+	s.order = append(s.order, id)
+	return l, nil
+}
+
+// Append adds an event to its DIMM's log. The DIMM must be registered.
+func (s *Store) Append(e Event) error {
+	l, ok := s.logs[e.DIMM]
+	if !ok {
+		return fmt.Errorf("trace: event for unregistered DIMM %s", e.DIMM)
+	}
+	l.Events = append(l.Events, e)
+	return nil
+}
+
+// Get returns the log for a DIMM, or nil when absent.
+func (s *Store) Get(id DIMMID) *DIMMLog { return s.logs[id] }
+
+// Len returns the number of registered DIMMs.
+func (s *Store) Len() int { return len(s.order) }
+
+// DIMMs iterates logs in registration order.
+func (s *Store) DIMMs() []*DIMMLog {
+	out := make([]*DIMMLog, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.logs[id])
+	}
+	return out
+}
+
+// SortAll sorts every DIMM's events by time; call once after bulk loading.
+func (s *Store) SortAll() {
+	for _, l := range s.logs {
+		l.SortEvents()
+	}
+}
+
+// CountEvents returns the total number of events of the given type.
+func (s *Store) CountEvents(t EventType) int {
+	n := 0
+	for _, l := range s.logs {
+		for _, e := range l.Events {
+			if e.Type == t {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+// Package memfp is a from-scratch Go reproduction of "Investigating Memory
+// Failure Prediction Across CPU Architectures" (DSN 2024): DRAM fault
+// analysis and UE prediction across Intel Purley, Intel Whitley and ARM
+// K920 platforms.
+//
+// The package exposes the end-to-end pipeline the paper describes:
+//
+//	fleet generation (synthetic stand-in for production BMC logs)
+//	  → fault analysis (Table I, Figures 4-5)
+//	  → feature extraction and labeling (§IV, §VI)
+//	  → model training (Random Forest, LightGBM-style GBDT,
+//	    FT-Transformer, Risky-CE-Pattern baseline)
+//	  → windowed evaluation (precision / recall / F1 / VIRR, Table II)
+//
+// with an MLOps runtime (internal/mlops) mirroring Figure 6. Each
+// experiment is deterministic for a given seed.
+package memfp
+
+import (
+	"fmt"
+
+	"memfp/internal/dataset"
+	"memfp/internal/faultsim"
+	"memfp/internal/features"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+	"memfp/internal/xrand"
+)
+
+// Algo identifies a prediction algorithm from Table II.
+type Algo string
+
+// The four Table II algorithms.
+const (
+	AlgoRiskyCE Algo = "Risky CE Pattern"
+	AlgoForest  Algo = "Random forest"
+	AlgoGBDT    Algo = "LightGBM"
+	AlgoFTT     Algo = "FT-Transformer"
+)
+
+// Algos lists Table II's rows in order.
+func Algos() []Algo { return []Algo{AlgoRiskyCE, AlgoForest, AlgoGBDT, AlgoFTT} }
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale is the fleet-size multiplier relative to the paper's Table I
+	// population (1.0 ≈ 90k DIMMs with CEs). Default 0.25.
+	Scale float64
+	// Seed drives every random choice.
+	Seed uint64
+	// Platforms restricts the run (default: all three).
+	Platforms []platform.ID
+	// TrainEndDay / ValEndDay bound the time-ordered split (days since
+	// the start of the ten-month window). Defaults 150 / 180.
+	TrainEndDay, ValEndDay int
+	// NegativeRatio is the training negatives-per-positive after
+	// downsampling. Default 4.
+	NegativeRatio float64
+	// DropErrorBitFeatures disables bit-level features (ablation).
+	DropErrorBitFeatures bool
+	// ObservationDays overrides the Δtd observation window (ablation);
+	// 0 keeps the paper's 5 days.
+	ObservationDays int
+	// TrainFocusDays keeps only training positives within this many days
+	// of their UE (interval-focused labeling per [29, 30]); 0 uses the
+	// default 10 days, negative disables filtering.
+	TrainFocusDays int
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Platforms) == 0 {
+		c.Platforms = platform.All()
+	}
+	if c.TrainEndDay == 0 {
+		c.TrainEndDay = 150
+	}
+	if c.ValEndDay == 0 {
+		c.ValEndDay = 180
+	}
+	if c.NegativeRatio == 0 {
+		c.NegativeRatio = 4
+	}
+	return c
+}
+
+// Fleet bundles one generated platform fleet with its extracted samples
+// and split, ready for training and evaluation.
+type Fleet struct {
+	Platform *platform.Platform
+	Result   *faultsim.Result
+	Samples  []features.Sample
+	Split    *dataset.Split
+	// TrainDown is the downsampled, shuffled training partition.
+	TrainDown *dataset.Dataset
+	Extractor *features.Extractor
+}
+
+// BuildFleet generates the fleet for one platform and prepares datasets.
+func BuildFleet(cfg Config, id platform.ID) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("memfp: generate %s: %w", id, err)
+	}
+	x := features.NewExtractor()
+	if cfg.ObservationDays > 0 {
+		x.Windows.Observation = trace.Minutes(cfg.ObservationDays) * trace.Day
+	}
+	samples := features.BuildAll(x, features.DefaultSamplerConfig(), res.Store)
+	if cfg.DropErrorBitFeatures {
+		zeroErrorBitFeatures(samples)
+	}
+	ds := dataset.FromSamples(samples)
+	split, err := dataset.TimeSplit(ds,
+		trace.Minutes(cfg.TrainEndDay)*trace.Day,
+		trace.Minutes(cfg.ValEndDay)*trace.Day)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed ^ 0x5eed)
+	train := split.Train
+	if cfg.TrainFocusDays >= 0 {
+		focus := cfg.TrainFocusDays
+		if focus == 0 {
+			focus = 10
+		}
+		train = dataset.FocusPositives(train, trace.Minutes(focus)*trace.Day)
+	}
+	down := dataset.Downsample(train, cfg.NegativeRatio, rng)
+	dataset.Shuffle(down, rng)
+	return &Fleet{
+		Platform:  platform.MustGet(id),
+		Result:    res,
+		Samples:   samples,
+		Split:     split,
+		TrainDown: down,
+		Extractor: x,
+	}, nil
+}
+
+// zeroErrorBitFeatures blanks the bit-level feature block (ablation).
+func zeroErrorBitFeatures(samples []features.Sample) {
+	names := features.Names()
+	var idx []int
+	for i, n := range names {
+		switch n {
+		case "frac_dq1", "frac_dq2", "frac_dq4", "frac_dq3plus",
+			"frac_beat2", "frac_beat5", "frac_beatint4",
+			"mean_bits", "max_bits", "dom_dq", "dom_beat", "dom_dqint", "dom_beatint":
+			idx = append(idx, i)
+		}
+	}
+	for _, s := range samples {
+		for _, i := range idx {
+			s.X[i] = 0
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package memfp
+
+import (
+	"testing"
+
+	"memfp/internal/platform"
+)
+
+// TestTableIIShape runs the full Table II pipeline at reduced scale and
+// checks the paper's qualitative findings: ML beats the rule baseline on
+// Purley, Whitley is the weakest platform, and F1 scores land in the
+// paper's band.
+func TestTableIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	t2, err := RunTableII(Config{Scale: 0.1, Seed: 42})
+	if err != nil {
+		t.Fatalf("RunTableII: %v", err)
+	}
+	t.Logf("\n%s", t2.Format())
+
+	bestF1 := func(id platform.ID) (float64, Algo) {
+		best, bestA := 0.0, Algo("")
+		for _, a := range Algos() {
+			c := t2.Cells[id][a]
+			if c.Applicable && c.Metrics.F1 > best {
+				best, bestA = c.Metrics.F1, a
+			}
+		}
+		return best, bestA
+	}
+	purleyBest, _ := bestF1(platform.Purley)
+	whitleyBest, _ := bestF1(platform.Whitley)
+	k920Best, _ := bestF1(platform.K920)
+	t.Logf("best F1: purley=%.3f whitley=%.3f k920=%.3f", purleyBest, whitleyBest, k920Best)
+
+	rule := t2.Cells[platform.Purley][AlgoRiskyCE].Metrics.F1
+	gb := t2.Cells[platform.Purley][AlgoGBDT].Metrics.F1
+	if gb <= rule {
+		t.Errorf("Purley: GBDT F1 %.3f should beat rule baseline %.3f", gb, rule)
+	}
+	if whitleyBest >= purleyBest {
+		t.Errorf("Whitley best F1 %.3f should be below Purley %.3f (Finding 4)", whitleyBest, purleyBest)
+	}
+	if purleyBest < 0.45 || purleyBest > 0.85 {
+		t.Errorf("Purley best F1 %.3f outside plausible band [0.45, 0.85]", purleyBest)
+	}
+	if !t2.Cells[platform.Whitley][AlgoRiskyCE].Applicable == false {
+		// Baseline must be inapplicable off-Purley.
+		t.Errorf("baseline should be inapplicable on Whitley")
+	}
+}

@@ -1,0 +1,108 @@
+package memfp
+
+import (
+	"fmt"
+	"strings"
+
+	"memfp/internal/eval"
+	"memfp/internal/ml/gbdt"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Cross-platform transfer experiment: train a predictor on one platform's
+// fleet, apply it to another's. This is the repository's extension of the
+// paper's central motivation — if failure patterns were
+// architecture-independent, transfer would be free; the measured diagonal
+// dominance quantifies why the paper builds per-platform models.
+
+// TransferResult is one (train platform, test platform) cell.
+type TransferResult struct {
+	TrainOn, TestOn platform.ID
+	Metrics         eval.Metrics
+}
+
+// RunTransferMatrix trains a GBDT per platform and evaluates every model
+// on every platform's test partition.
+func RunTransferMatrix(cfg Config) ([]TransferResult, error) {
+	cfg = cfg.withDefaults()
+	type trained struct {
+		fleet *Fleet
+		model *gbdt.Model
+	}
+	models := map[platform.ID]trained{}
+	for _, id := range cfg.Platforms {
+		fleet, err := BuildFleet(cfg, id)
+		if err != nil {
+			return nil, err
+		}
+		p := gbdt.DefaultParams()
+		p.Seed = cfg.Seed
+		m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
+			fleet.Split.Val.X, fleet.Split.Val.Y, p)
+		if err != nil {
+			return nil, fmt.Errorf("memfp: transfer train %s: %w", id, err)
+		}
+		models[id] = trained{fleet: fleet, model: m}
+	}
+	vp := eval.DefaultVIRRParams()
+	var out []TransferResult
+	for _, src := range cfg.Platforms {
+		srcT := models[src]
+		for _, dst := range cfg.Platforms {
+			dstT := models[dst]
+			// Threshold tuned on the *source* platform's validation —
+			// exactly what naive reuse of a foreign model would do.
+			val := srcT.fleet.Split.Val
+			valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times,
+				srcT.model.PredictBatch(val.X), val.Y, 30*trace.Day)
+
+			test := dstT.fleet.Split.Test
+			testDS := eval.AggregateByDIMMWindow(test.DIMMs, test.Times,
+				srcT.model.PredictBatch(test.X), test.Y, 30*trace.Day)
+
+			tr := srcT.fleet.Split.Train
+			trainDS := eval.AggregateByDIMMWindow(tr.DIMMs, tr.Times,
+				make([]float64, tr.Len()), tr.Y, 30*trace.Day)
+			baseRate := eval.PositiveUnitRate(append(trainDS, valDS...))
+			testScores := make([]float64, len(testDS))
+			for i, d := range testDS {
+				testScores[i] = d.Score
+			}
+			th := eval.TuneThreshold(valDS, vp, 20, 1.6, baseRate, testScores)
+			out = append(out, TransferResult{
+				TrainOn: src, TestOn: dst,
+				Metrics: eval.Compute(eval.ConfusionAt(testDS, th), vp),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatTransferMatrix renders the matrix with F1 cells.
+func FormatTransferMatrix(results []TransferResult) string {
+	ids := platform.All()
+	cell := map[[2]platform.ID]eval.Metrics{}
+	for _, r := range results {
+		cell[[2]platform.ID{r.TrainOn, r.TestOn}] = r.Metrics
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s", "train \\ test F1")
+	for _, dst := range ids {
+		fmt.Fprintf(&sb, " %14s", dst)
+	}
+	sb.WriteByte('\n')
+	for _, src := range ids {
+		fmt.Fprintf(&sb, "%-16s", src)
+		for _, dst := range ids {
+			m, ok := cell[[2]platform.ID{src, dst}]
+			if !ok {
+				fmt.Fprintf(&sb, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, " %14.2f", m.F1)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
