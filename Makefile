@@ -1,0 +1,35 @@
+# Tier-1 verification and day-to-day targets. `make ci` is what the
+# roadmap's tier-1 check runs: build everything, vet, then the full test
+# suite.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench bench-cache ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 30m ./...
+
+# Skips the slow full-grid Table II tests; useful while iterating.
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m ./...
+
+# The FleetCache speedup benchmark on its own.
+bench-cache:
+	$(GO) test -run '^$$' -bench BenchmarkTableIIFleetCache -benchtime 2x -timeout 30m .
+
+ci: build vet fmt test

@@ -16,6 +16,7 @@ import (
 	"memfp/internal/features"
 	"memfp/internal/ml/gbdt"
 	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
@@ -53,7 +54,8 @@ func BenchmarkFigure2VIRR(b *testing.B) {
 // BenchmarkFigure3Labeling exercises the §IV window labeling over a fleet
 // (Figure 3 is the problem definition; its artifact is the label set).
 func BenchmarkFigure3Labeling(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,7 +77,8 @@ func BenchmarkFigure3Labeling(b *testing.B) {
 // BenchmarkFigure4 regenerates the fault-mode/UE attribution analysis and
 // reports Purley's single-device share.
 func BenchmarkFigure4(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -93,7 +96,8 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFigure5 regenerates the error-bit analysis and reports the
 // Purley risky-bucket (DQ count = 2) UE rate.
 func BenchmarkFigure5(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -146,7 +150,8 @@ func BenchmarkTableII_K920_FTT(b *testing.B)      { tableIICell(b, platform.K920
 // BenchmarkFigure6MLOpsPipeline runs the full MLOps cycle: batch train,
 // gate, promote, replay the stream, resolve feedback.
 func BenchmarkFigure6MLOpsPipeline(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.K920, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.K920, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -270,8 +275,11 @@ func BenchmarkAblationLeafwise(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func BenchmarkFleetGeneration(b *testing.B) {
+	// A fresh cache and a unique seed per iteration keep this a benchmark
+	// of generation itself (every Get is a miss).
 	for i := 0; i < b.N; i++ {
-		if _, err := faultsim.Generate(faultsim.Config{
+		cache := pipeline.NewFleetCache()
+		if _, err := cache.Get(context.Background(), faultsim.Config{
 			Platform: platform.Purley, Scale: benchScale, Seed: uint64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -280,7 +288,8 @@ func BenchmarkFleetGeneration(b *testing.B) {
 }
 
 func BenchmarkFeatureExtraction(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -294,7 +303,8 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 }
 
 func BenchmarkStormDetection(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -307,7 +317,8 @@ func BenchmarkStormDetection(b *testing.B) {
 }
 
 func BenchmarkLogCodec(b *testing.B) {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.005, Seed: 42})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: 0.005, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -325,4 +336,37 @@ func BenchmarkLogCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet cache
+// ---------------------------------------------------------------------------
+
+// BenchmarkTableIIFleetCache compares a full Table II run against a cold
+// cache (every platform fleet regenerated) with one against a warm cache
+// (fleets served from memory) — the speedup the shared FleetCache buys
+// every repeated experiment at a given (scale, seed).
+func BenchmarkTableIIFleetCache(b *testing.B) {
+	run := func(b *testing.B, cache *pipeline.FleetCache) {
+		t2, err := RunTableII(Config{Scale: benchScale, Seed: 42, Fleets: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t2.Cells) != 3 {
+			b.Fatal("incomplete table")
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, pipeline.NewFleetCache()) // cold cache: all misses
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := pipeline.NewFleetCache()
+		run(b, cache) // warm it
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+	})
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memfp"
 	"memfp/internal/analysis"
 	"memfp/internal/faultsim"
 	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
@@ -36,7 +38,8 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -143,22 +146,29 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
+	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, *scale, *seed)
+}
+
+// runServe is the serve flow against an explicit writer and cache, so the
+// fig6 scenario can honor its Env contract.
+func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
+	id platform.ID, scale float64, seed uint64) error {
+	res, err := cache.Get(ctx, faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
 		return err
 	}
 	pipe := mlops.NewPipeline(id)
-	pipe.Seed = *seed
+	pipe.Seed = seed
 	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained %s v%d: promoted=%v (%s), benchmark %s\n",
+	fmt.Fprintf(w, "trained %s v%d: promoted=%v (%s), benchmark %s\n",
 		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
 
 	server := pipe.NewServer()
 	alarms := []mlops.Alarm{}
-	n, err := server.Replay(context.Background(), res.Store, func(a mlops.Alarm) {
+	n, err := server.Replay(ctx, res.Store, func(a mlops.Alarm) {
 		alarms = append(alarms, a)
 	})
 	if err != nil {
@@ -171,19 +181,9 @@ func cmdServe(args []string) error {
 		}
 	}
 	pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
-	fmt.Printf("replayed stream: %d alarms emitted\n", n)
-	fmt.Print(pipe.Monitor.Dashboard())
+	fmt.Fprintf(w, "replayed stream: %d alarms emitted\n", n)
+	fmt.Fprint(w, pipe.Monitor.Dashboard())
 	dec := pipe.Monitor.ShouldRetrain(0.25, 0.2)
-	fmt.Printf("retraining decision: retrain=%v (%s)\n", dec.Retrain, dec.Reason)
+	fmt.Fprintf(w, "retraining decision: retrain=%v (%s)\n", dec.Retrain, dec.Reason)
 	return nil
-}
-
-// reproFig6 is the repro-harness view of the MLOps pipeline.
-func reproFig6(cfg memfp.Config) error {
-	fmt.Println("Figure 6 — MLOps framework walkthrough (Purley fleet)")
-	return cmdServe([]string{
-		"-platform", string(platform.Purley),
-		"-scale", fmt.Sprintf("%g", cfg.Scale*0.4),
-		"-seed", fmt.Sprintf("%d", cfg.Seed),
-	})
 }

@@ -58,6 +58,7 @@ commands:
   analyze   run fault analysis over a log file
   train     train and evaluate one algorithm on one platform
   serve     run the MLOps online-prediction demo
+  diag      print split statistics and score quality for one platform
 
 run "memfp <command> -h" for flags`)
 }

@@ -1,179 +1,69 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 
-	"memfp"
-	"memfp/internal/analysis"
-	"memfp/internal/eval"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
-	"memfp/internal/ras"
-	"memfp/internal/trace"
-	"memfp/internal/xrand"
 )
+
+// The paper's tables and figures are pipeline scenarios registered by the
+// memfp root package; repro just iterates the registry. fig6 (the MLOps
+// walkthrough) lives here because its report is the serve command itself.
+func init() {
+	pipeline.Register(pipeline.Scenario{
+		Name: "fig6", Order: 70,
+		Describe: "Figure 6 — MLOps framework walkthrough (Purley fleet)",
+		Run: func(ctx context.Context, env *pipeline.Env) error {
+			env.Printf("Figure 6 — MLOps framework walkthrough (Purley fleet)\n")
+			out := env.Out
+			if out == nil {
+				out = io.Discard
+			}
+			return runServe(ctx, out, env.Fleets(), platform.Purley, env.Scale*0.4, env.Seed)
+		},
+	})
+}
 
 // cmdRepro regenerates the paper's tables and figures.
 func cmdRepro(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ExitOnError)
 	scale, seed := commonFlags(fs)
-	exp := fs.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|table2|fig6|transfer")
+	workers := fs.Int("workers", 0, "experiment-cell concurrency (0 = one per CPU)")
+	var names []string
+	for _, s := range pipeline.All() {
+		names = append(names, s.Name)
+	}
+	exp := fs.String("exp", "all", "experiment: all|"+strings.Join(names, "|"))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := memfp.Config{Scale: *scale, Seed: *seed}
-
-	run := func(name string, f func(memfp.Config) error) error {
-		if *exp != "all" && *exp != name {
-			return nil
-		}
-		fmt.Printf("\n───────────────────────── %s ─────────────────────────\n", strings.ToUpper(name))
-		return f(cfg)
-	}
-	if err := run("table1", reproTable1); err != nil {
-		return err
-	}
-	if err := run("fig2", reproFig2); err != nil {
-		return err
-	}
-	if err := run("fig3", reproFig3); err != nil {
-		return err
-	}
-	if err := run("fig4", reproFig4); err != nil {
-		return err
-	}
-	if err := run("fig5", reproFig5); err != nil {
-		return err
-	}
-	if err := run("table2", reproTable2); err != nil {
-		return err
-	}
-	if err := run("fig6", reproFig6); err != nil {
-		return err
-	}
-	if err := run("transfer", reproTransfer); err != nil {
-		return err
-	}
-	return nil
-}
-
-// reproTransfer runs the cross-platform transfer extension: evidence for
-// the paper's per-platform-model design.
-func reproTransfer(cfg memfp.Config) error {
-	scaled := cfg
-	scaled.Scale = cfg.Scale * 0.5 // 9 train/eval cells; keep it tractable
-	res, err := memfp.RunTransferMatrix(scaled)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Cross-platform transfer (GBDT; extension beyond the paper)")
-	fmt.Print(memfp.FormatTransferMatrix(res))
-	fmt.Println("\ndiagonal dominance = per-platform models are necessary (paper Findings 2-4)")
-	return nil
-}
-
-func reproTable1(cfg memfp.Config) error {
-	rows, err := memfp.RunTableI(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table I — Description of Dataset (synthetic fleet, scale-adjusted)")
-	fmt.Print(analysis.FormatTableI(rows))
-	fmt.Println("\npaper: Purley 73%/27%, Whitley 42%/58%, K920 82%/18% predictable/sudden")
-	return nil
-}
-
-func reproFig2(cfg memfp.Config) error {
-	fmt.Println("Figure 2 — VIRR cost model: VIRR = (1 − yc/precision)·recall")
-	points := []eval.Metrics{
-		{Precision: 0.54, Recall: 0.80}, // paper's Purley LightGBM operating point
-		{Precision: 0.46, Recall: 0.54}, // Whitley LightGBM
-		{Precision: 0.51, Recall: 0.57}, // K920 LightGBM
-		{Precision: 0.09, Recall: 0.90}, // below-yc pathology
-	}
-	ycs := []float64{0.05, 0.10, 0.20, 0.30}
-	fmt.Printf("%8s %10s %8s %8s\n", "yc", "precision", "recall", "VIRR")
-	for _, p := range memfp.RunVIRRSensitivity(points, ycs) {
-		fmt.Printf("%8.2f %10.2f %8.2f %8.3f\n", p.YC, p.Precision, p.Recall, p.VIRR)
-	}
-	fmt.Println("\nVIRR < 0 whenever precision < yc: prediction then *adds* interruptions")
-
-	// Executable version of the cost model: replay synthetic alarms and
-	// failures through the RAS mitigation pipeline and compare the
-	// simulated VIRR against the closed form.
-	fmt.Println("\nRAS pipeline simulation (P=0.54, R=0.80 operating point):")
-	rng := xrand.New(cfg.Seed)
-	var alarms []ras.Alarm
-	var failures []ras.Failure
-	mk := func(i int) trace.DIMMID {
-		return trace.DIMMID{Platform: platform.Purley, Server: i, Slot: 0}
-	}
-	for i := 0; i < 4000; i++ {
-		switch {
-		case i < 1600: // TP
-			alarms = append(alarms, ras.Alarm{Time: 100, DIMM: mk(i)})
-			failures = append(failures, ras.Failure{Time: 200 + trace.Minutes(rng.Intn(20000)), DIMM: mk(i)})
-		case i < 2963: // FP (1363 ≈ precision 0.54)
-			alarms = append(alarms, ras.Alarm{Time: 100, DIMM: mk(i)})
-		case i < 3363: // FN (400 ≈ recall 0.80)
-			failures = append(failures, ras.Failure{Time: 500, DIMM: mk(i)})
+	if *exp != "all" {
+		if _, ok := pipeline.Lookup(*exp); !ok {
+			return fmt.Errorf("repro: unknown experiment %q (want all|%s)", *exp, strings.Join(names, "|"))
 		}
 	}
-	out, err := ras.Simulate(ras.DefaultConfig(), alarms, failures, 30*trace.Day)
-	if err != nil {
-		return err
+	env := &pipeline.Env{
+		Cache:   pipeline.Shared,
+		Workers: *workers,
+		Scale:   *scale,
+		Seed:    *seed,
+		Out:     os.Stdout,
 	}
-	fmt.Printf("  simulated: P=%.2f R=%.2f VIRR=%.3f (closed form %.3f)\n",
-		out.Precision(), out.Recall(), out.VIRR(),
-		(1-0.1/out.Precision())*out.Recall())
-	fmt.Printf("  actions: live=%d cold=%d offline=%d sparing=%d\n",
-		out.Actions[ras.ActionLiveMigration], out.Actions[ras.ActionColdMigration],
-		out.Actions[ras.ActionPageOffline], out.Actions[ras.ActionSparing])
-	return nil
-}
-
-func reproFig3(cfg memfp.Config) error {
-	w := memfp.LeadTimeWindows()
-	fmt.Println("Figure 3 — failure prediction problem definition (window configuration)")
-	fmt.Printf("  observation window Δtd = %v\n", w.Observation)
-	fmt.Printf("  lead window        Δtl = %v\n", w.Lead)
-	fmt.Printf("  prediction window  Δtp = %v\n", w.Prediction)
-	fmt.Printf("  collection span        = %d days (paper: Jan–Oct 2023)\n", memfp.ObservationSpanDays())
-	return nil
-}
-
-func reproFig4(cfg memfp.Config) error {
-	res, err := memfp.RunFigure4(cfg)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	for _, s := range pipeline.All() {
+		if *exp != "all" && *exp != s.Name {
+			continue
+		}
+		fmt.Printf("\n───────────────────────── %s ─────────────────────────\n", strings.ToUpper(s.Name))
+		if err := s.Run(ctx, env); err != nil {
+			return err
+		}
 	}
-	for _, r := range res {
-		fmt.Print(analysis.FormatFigure4(string(r.Platform), r.Cats))
-	}
-	fmt.Println("paper: single-device dominant on Purley; multi-device dominant on Whitley & K920")
-	return nil
-}
-
-func reproFig5(cfg memfp.Config) error {
-	res, err := memfp.RunFigure5(cfg)
-	if err != nil {
-		return err
-	}
-	for _, r := range res {
-		fmt.Print(analysis.FormatFigure5(string(r.Platform), r.Panels))
-	}
-	fmt.Println("paper: Purley risky = 2 DQs / 2 beats / 4-beat interval; Whitley risky = 4 DQs / 5 beats")
-	return nil
-}
-
-func reproTable2(cfg memfp.Config) error {
-	t2, err := memfp.RunTableII(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table II — Algorithm performance comparison (X = not applicable)")
-	fmt.Print(t2.Format())
-	fmt.Println("\npaper best F1: Purley 0.64 (LightGBM), Whitley 0.50 (FT-Transformer), K920 0.54 (LightGBM)")
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"memfp/internal/faultsim"
 	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
@@ -36,7 +37,8 @@ func run(id platform.ID, scale float64, seed uint64) error {
 	if _, err := platform.Get(id); err != nil {
 		return err
 	}
-	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: scale, Seed: seed})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -6,18 +6,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
 	"memfp/internal/analysis"
 	"memfp/internal/faultsim"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
 
 func main() {
 	for _, id := range platform.All() {
-		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: 0.05, Seed: 11})
+		res, err := pipeline.Generate(context.Background(),
+			faultsim.Config{Platform: id, Scale: 0.05, Seed: 11})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -32,7 +35,8 @@ func main() {
 
 	// Round-trip through the BMC log format: serialize, re-parse, verify
 	// the analysis is identical — the "Data Pipeline" stage of Figure 6.
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.01, Seed: 11})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: 0.01, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

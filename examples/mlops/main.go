@@ -11,12 +11,14 @@ import (
 
 	"memfp/internal/faultsim"
 	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
 
 func main() {
-	res, err := faultsim.Generate(faultsim.Config{Platform: platform.K920, Scale: 0.08, Seed: 21})
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.K920, Scale: 0.08, Seed: 21})
 	if err != nil {
 		log.Fatal(err)
 	}

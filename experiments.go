@@ -1,6 +1,7 @@
 package memfp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,14 +10,22 @@ import (
 	"memfp/internal/baseline"
 	"memfp/internal/dataset"
 	"memfp/internal/eval"
-	"memfp/internal/faultsim"
 	"memfp/internal/features"
 	"memfp/internal/ml/forest"
 	"memfp/internal/ml/ftt"
 	"memfp/internal/ml/gbdt"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
+
+// The experiment runners below all share one shape: fan the run's cells
+// (platform × algorithm, figure panels, sweep points) out across the
+// pipeline worker pool, fetching fleets through the shared FleetCache, and
+// reassemble results in stable platform/algorithm order regardless of
+// which cell finished first. Each cell is deterministic for a given seed
+// and touches no state shared with its siblings, so the parallel output is
+// identical to the sequential one.
 
 // ---------------------------------------------------------------------------
 // Table I
@@ -24,16 +33,21 @@ import (
 
 // RunTableI generates every platform fleet and computes Table I rows.
 func RunTableI(cfg Config) ([]analysis.DatasetStats, error) {
+	return RunTableICtx(context.Background(), cfg)
+}
+
+// RunTableICtx is RunTableI with cancellation.
+func RunTableICtx(ctx context.Context, cfg Config) ([]analysis.DatasetStats, error) {
 	cfg = cfg.withDefaults()
-	var rows []analysis.DatasetStats
-	for _, id := range cfg.Platforms {
-		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, analysis.TableI(res.Store))
-	}
-	return rows, nil
+	return pipeline.Map(ctx, cfg.Workers, cfg.Platforms,
+		func(id platform.ID) string { return "table1/" + string(id) },
+		func(ctx context.Context, id platform.ID) (analysis.DatasetStats, error) {
+			res, err := cfg.generate(ctx, id)
+			if err != nil {
+				return analysis.DatasetStats{}, err
+			}
+			return analysis.TableI(res.Store), nil
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -48,19 +62,24 @@ type Figure4Result struct {
 
 // RunFigure4 computes the fault-mode/UE correlation for each platform.
 func RunFigure4(cfg Config) ([]Figure4Result, error) {
+	return RunFigure4Ctx(context.Background(), cfg)
+}
+
+// RunFigure4Ctx is RunFigure4 with cancellation.
+func RunFigure4Ctx(ctx context.Context, cfg Config) ([]Figure4Result, error) {
 	cfg = cfg.withDefaults()
-	var out []Figure4Result
-	for _, id := range cfg.Platforms {
-		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Figure4Result{
-			Platform: id,
-			Cats:     analysis.Figure4(res.Store, analysis.DefaultThresholds()),
+	return pipeline.Map(ctx, cfg.Workers, cfg.Platforms,
+		func(id platform.ID) string { return "fig4/" + string(id) },
+		func(ctx context.Context, id platform.ID) (Figure4Result, error) {
+			res, err := cfg.generate(ctx, id)
+			if err != nil {
+				return Figure4Result{}, err
+			}
+			return Figure4Result{
+				Platform: id,
+				Cats:     analysis.Figure4(res.Store, analysis.DefaultThresholds()),
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // Figure5Result is one platform's four Figure 5 panels.
@@ -72,19 +91,27 @@ type Figure5Result struct {
 // RunFigure5 computes the error-bit analysis for the Intel platforms (the
 // paper's Figure 5 scope).
 func RunFigure5(cfg Config) ([]Figure5Result, error) {
+	return RunFigure5Ctx(context.Background(), cfg)
+}
+
+// RunFigure5Ctx is RunFigure5 with cancellation.
+func RunFigure5Ctx(ctx context.Context, cfg Config) ([]Figure5Result, error) {
 	cfg = cfg.withDefaults()
-	var out []Figure5Result
+	var intel []platform.ID
 	for _, id := range cfg.Platforms {
-		if id == platform.K920 {
-			continue
+		if id != platform.K920 {
+			intel = append(intel, id)
 		}
-		res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Figure5Result{Platform: id, Panels: analysis.Figure5(res.Store)})
 	}
-	return out, nil
+	return pipeline.Map(ctx, cfg.Workers, intel,
+		func(id platform.ID) string { return "fig5/" + string(id) },
+		func(ctx context.Context, id platform.ID) (Figure5Result, error) {
+			res, err := cfg.generate(ctx, id)
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			return Figure5Result{Platform: id, Panels: analysis.Figure5(res.Store)}, nil
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -107,40 +134,73 @@ type TableII struct {
 
 // RunTableII trains and evaluates all four algorithms on every platform.
 func RunTableII(cfg Config) (*TableII, error) {
+	return RunTableIICtx(context.Background(), cfg)
+}
+
+// RunTableIICtx runs Table II as a two-stage pipeline: stage one builds
+// each platform's fleet (generation, feature extraction, splitting) in
+// parallel; stage two fans every platform × algorithm cell out across the
+// worker pool. Cell results are keyed by (platform, algorithm), so the
+// assembled table is independent of completion order.
+func RunTableIICtx(ctx context.Context, cfg Config) (*TableII, error) {
 	cfg = cfg.withDefaults()
+
+	fleets, err := pipeline.Map(ctx, cfg.Workers, cfg.Platforms,
+		func(id platform.ID) string { return "table2/fleet/" + string(id) },
+		func(ctx context.Context, id platform.ID) (*Fleet, error) {
+			return BuildFleetCtx(ctx, cfg, id)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	type cellKey struct {
+		id   platform.ID
+		algo Algo
+	}
+	var tasks []pipeline.Task[Cell]
+	var keys []cellKey
+	for i, id := range cfg.Platforms {
+		fleet := fleets[i]
+		for _, a := range Algos() {
+			a := a
+			keys = append(keys, cellKey{id, a})
+			tasks = append(tasks, pipeline.Task[Cell]{
+				Name: fmt.Sprintf("table2/%s/%s", id, a),
+				Run: func(ctx context.Context) (Cell, error) {
+					return EvaluateAlgoCtx(ctx, cfg, fleet, a)
+				},
+			})
+		}
+	}
+	cells, err := pipeline.Run(ctx, cfg.Workers, tasks)
+	if err != nil {
+		return nil, fmt.Errorf("memfp: evaluate: %w", err)
+	}
+
 	t2 := &TableII{Cells: map[platform.ID]map[Algo]Cell{}, Config: cfg}
 	for _, id := range cfg.Platforms {
-		fleet, err := BuildFleet(cfg, id)
-		if err != nil {
-			return nil, err
-		}
-		cells, err := EvaluateAll(cfg, fleet)
-		if err != nil {
-			return nil, fmt.Errorf("memfp: evaluate %s: %w", id, err)
-		}
-		t2.Cells[id] = cells
+		t2.Cells[id] = map[Algo]Cell{}
+	}
+	for i, c := range cells {
+		t2.Cells[keys[i].id][keys[i].algo] = c
 	}
 	return t2, nil
 }
 
-// EvaluateAll trains and evaluates every algorithm on one fleet.
-func EvaluateAll(cfg Config, fleet *Fleet) (map[Algo]Cell, error) {
-	cfg = cfg.withDefaults()
-	out := map[Algo]Cell{}
-	for _, a := range Algos() {
-		cell, err := EvaluateAlgo(cfg, fleet, a)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", a, err)
-		}
-		out[a] = cell
-	}
-	return out, nil
-}
-
 // EvaluateAlgo trains one algorithm on the fleet's training partition,
 // tunes its decision threshold on validation DIMMs (max F1), and reports
-// test-partition DIMM-level metrics.
+// test-partition DIMM-level metrics. It reads the fleet but never mutates
+// it, so concurrent evaluations may share one fleet.
 func EvaluateAlgo(cfg Config, fleet *Fleet, a Algo) (Cell, error) {
+	return EvaluateAlgoCtx(context.Background(), cfg, fleet, a)
+}
+
+// EvaluateAlgoCtx is EvaluateAlgo with cancellation, checked between the
+// cell's phases (before training and before each scoring pass) — model
+// fitting itself runs to completion, so cancellation latency is bounded
+// by the longest single fit, not the whole cell.
+func EvaluateAlgoCtx(ctx context.Context, cfg Config, fleet *Fleet, a Algo) (Cell, error) {
 	cfg = cfg.withDefaults()
 	vp := eval.DefaultVIRRParams()
 	cell := Cell{
@@ -168,6 +228,9 @@ func EvaluateAlgo(cfg Config, fleet *Fleet, a Algo) (Cell, error) {
 	train := fleet.TrainDown
 	if train.Positives() == 0 {
 		return cell, fmt.Errorf("no positive training samples (scale too small)")
+	}
+	if err := ctx.Err(); err != nil {
+		return cell, err
 	}
 	var scoreFn func(X [][]float64) []float64
 	switch a {
@@ -210,6 +273,9 @@ func EvaluateAlgo(cfg Config, fleet *Fleet, a Algo) (Cell, error) {
 		return cell, fmt.Errorf("unknown algorithm %q", a)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return cell, err
+	}
 	val := fleet.Split.Val
 	valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times, scoreFn(val.X), val.Y, 30*trace.Day)
 
@@ -276,15 +342,32 @@ type VIRRPoint struct {
 // RunVIRRSensitivity sweeps the Figure 2 cost model over yc for given
 // operating points, showing where prediction helps vs harms.
 func RunVIRRSensitivity(points []eval.Metrics, ycs []float64) []VIRRPoint {
-	var out []VIRRPoint
-	for _, m := range points {
-		for _, yc := range ycs {
-			v := 0.0
-			if m.Precision > 0 {
-				v = (1 - yc/m.Precision) * m.Recall
+	out, _ := RunVIRRSensitivityCtx(context.Background(), 0, points, ycs)
+	return out
+}
+
+// RunVIRRSensitivityCtx fans the sweep's operating points out across the
+// worker pool and returns the flattened, deterministically sorted rows.
+func RunVIRRSensitivityCtx(ctx context.Context, workers int, points []eval.Metrics, ycs []float64) ([]VIRRPoint, error) {
+	rows, err := pipeline.Map(ctx, workers, points,
+		func(m eval.Metrics) string { return fmt.Sprintf("virr/p%.2f-r%.2f", m.Precision, m.Recall) },
+		func(ctx context.Context, m eval.Metrics) ([]VIRRPoint, error) {
+			pts := make([]VIRRPoint, 0, len(ycs))
+			for _, yc := range ycs {
+				v := 0.0
+				if m.Precision > 0 {
+					v = (1 - yc/m.Precision) * m.Recall
+				}
+				pts = append(pts, VIRRPoint{YC: yc, Precision: m.Precision, Recall: m.Recall, VIRR: v})
 			}
-			out = append(out, VIRRPoint{YC: yc, Precision: m.Precision, Recall: m.Recall, VIRR: v})
-		}
+			return pts, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []VIRRPoint
+	for _, r := range rows {
+		out = append(out, r...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Precision != out[j].Precision {
@@ -292,7 +375,7 @@ func RunVIRRSensitivity(points []eval.Metrics, ycs []float64) []VIRRPoint {
 		}
 		return out[i].YC < out[j].YC
 	})
-	return out
+	return out, nil
 }
 
 // LeadTimeWindows reports the §IV / Figure 3 window configuration in use.

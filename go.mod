@@ -1,0 +1,3 @@
+module memfp
+
+go 1.24

@@ -246,31 +246,10 @@ func Figure5(s *trace.Store) map[BitStat][]BitBucket {
 	return out
 }
 
-// dominantSignature returns the most frequent (DQ count, beat count,
-// DQ interval, beat interval) tuple over a DIMM's CE signatures, breaking
-// ties toward the more complex signature (more DQs, then more beats) so a
-// recurring structured pattern is not masked by single-bit noise.
+// dominantSignature is trace.DominantSignature; the shared helper keeps
+// Figure 5 bucketing and §VI feature extraction on one tie-break.
 func dominantSignature(ces []trace.Event) (dq, beat, dqi, bi int) {
-	type sig struct{ dq, beat, dqi, bi int }
-	counts := map[sig]int{}
-	for _, e := range ces {
-		if e.Bits.IsZero() {
-			continue
-		}
-		s := sig{e.Bits.DQCount(), e.Bits.BeatCount(), e.Bits.DQInterval(), e.Bits.BeatInterval()}
-		counts[s]++
-	}
-	if len(counts) == 0 {
-		return 0, 0, 0, 0
-	}
-	var best sig
-	bestN := -1
-	for s, n := range counts {
-		if n > bestN || (n == bestN && (s.dq > best.dq || (s.dq == best.dq && s.beat > best.beat))) {
-			best, bestN = s, n
-		}
-	}
-	return best.dq, best.beat, best.dqi, best.bi
+	return trace.DominantSignature(ces)
 }
 
 // FormatTableI renders Table I rows as an aligned text table.

@@ -323,27 +323,8 @@ func boolf(b bool) float64 {
 	return 0
 }
 
-// dominantSig mirrors the analysis package's dominant-signature logic for
-// the observation window.
+// dominantSig is trace.DominantSignature over the observation window —
+// the same tie-break the Figure 5 analysis uses.
 func dominantSig(ces []trace.Event) (dq, beat, dqi, bi int) {
-	type sig struct{ dq, beat, dqi, bi int }
-	counts := map[sig]int{}
-	for _, e := range ces {
-		if e.Bits.IsZero() {
-			continue
-		}
-		s := sig{e.Bits.DQCount(), e.Bits.BeatCount(), e.Bits.DQInterval(), e.Bits.BeatInterval()}
-		counts[s]++
-	}
-	if len(counts) == 0 {
-		return 0, 0, 0, 0
-	}
-	var best sig
-	bestN := -1
-	for s, n := range counts {
-		if n > bestN || (n == bestN && (s.dq > best.dq || (s.dq == best.dq && s.beat > best.beat))) {
-			best, bestN = s, n
-		}
-	}
-	return best.dq, best.beat, best.dqi, best.bi
+	return trace.DominantSignature(ces)
 }

@@ -1,0 +1,44 @@
+package trace
+
+// DominantSignature returns the most frequent (DQ count, beat count, DQ
+// interval, beat interval) tuple over the events' CE bit signatures,
+// breaking ties toward the more complex signature (more DQs, then more
+// beats, then wider intervals) so a recurring structured pattern is not
+// masked by single-bit noise. Both the Figure 5 analysis and §VI feature
+// extraction bucket DIMMs by this value, so it lives here, once: the
+// tie-break is a total order and extraction must be reproducible
+// call-to-call (the fleet cache shares one store across every consumer).
+func DominantSignature(ces []Event) (dq, beat, dqi, bi int) {
+	type sig struct{ dq, beat, dqi, bi int }
+	counts := map[sig]int{}
+	for _, e := range ces {
+		if e.Bits.IsZero() {
+			continue
+		}
+		s := sig{e.Bits.DQCount(), e.Bits.BeatCount(), e.Bits.DQInterval(), e.Bits.BeatInterval()}
+		counts[s]++
+	}
+	if len(counts) == 0 {
+		return 0, 0, 0, 0
+	}
+	less := func(a, b sig) bool {
+		if a.dq != b.dq {
+			return a.dq < b.dq
+		}
+		if a.beat != b.beat {
+			return a.beat < b.beat
+		}
+		if a.dqi != b.dqi {
+			return a.dqi < b.dqi
+		}
+		return a.bi < b.bi
+	}
+	var best sig
+	bestN := -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && less(best, s)) {
+			best, bestN = s, n
+		}
+	}
+	return best.dq, best.beat, best.dqi, best.bi
+}

@@ -17,11 +17,13 @@
 package memfp
 
 import (
+	"context"
 	"fmt"
 
 	"memfp/internal/dataset"
 	"memfp/internal/faultsim"
 	"memfp/internal/features"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 	"memfp/internal/xrand"
@@ -65,6 +67,26 @@ type Config struct {
 	// of their UE (interval-focused labeling per [29, 30]); 0 uses the
 	// default 10 days, negative disables filtering.
 	TrainFocusDays int
+	// Workers bounds experiment-cell concurrency: 0 runs one worker per
+	// CPU, 1 forces the sequential path. Results are identical either way.
+	Workers int
+	// Fleets overrides the fleet cache; nil uses the process-wide shared
+	// cache, so every runner touching the same (platform, scale, seed)
+	// generates the fleet exactly once.
+	Fleets *pipeline.FleetCache
+}
+
+// fleets returns the cache this run generates through.
+func (c Config) fleets() *pipeline.FleetCache {
+	if c.Fleets != nil {
+		return c.Fleets
+	}
+	return pipeline.Shared
+}
+
+// generate fetches one platform's fleet through the configured cache.
+func (c Config) generate(ctx context.Context, id platform.ID) (*faultsim.Result, error) {
+	return c.fleets().Get(ctx, faultsim.Config{Platform: id, Scale: c.Scale, Seed: c.Seed})
 }
 
 // withDefaults fills zero values.
@@ -103,9 +125,16 @@ type Fleet struct {
 }
 
 // BuildFleet generates the fleet for one platform and prepares datasets.
+// Generation goes through the configured FleetCache, so repeated builds at
+// the same (platform, scale, seed) share one simulated fleet.
 func BuildFleet(cfg Config, id platform.ID) (*Fleet, error) {
+	return BuildFleetCtx(context.Background(), cfg, id)
+}
+
+// BuildFleetCtx is BuildFleet with cancellation.
+func BuildFleetCtx(ctx context.Context, cfg Config, id platform.ID) (*Fleet, error) {
 	cfg = cfg.withDefaults()
-	res, err := faultsim.Generate(faultsim.Config{Platform: id, Scale: cfg.Scale, Seed: cfg.Seed})
+	res, err := cfg.generate(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("memfp: generate %s: %w", id, err)
 	}

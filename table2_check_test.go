@@ -3,22 +3,62 @@ package memfp
 import (
 	"testing"
 
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 )
 
-// TestTableIIShape runs the full Table II pipeline at reduced scale and
-// checks the paper's qualitative findings: ML beats the rule baseline on
-// Purley, Whitley is the weakest platform, and F1 scores land in the
-// paper's band.
-func TestTableIIShape(t *testing.T) {
+// TestTableIIGrid runs the full Table II grid — every platform, every
+// algorithm — once through the old sequential generate-then-evaluate path
+// and once through the concurrent pipeline, then checks (a) the two are
+// byte-identical for the same seed and (b) the paper's qualitative
+// findings hold: ML beats the rule baseline on Purley, Whitley is the
+// weakest platform, and F1 scores land in a plausible band.
+//
+// The scale matches the benchmark suite (0.02): large enough for every
+// platform to carry training positives, small enough that the double grid
+// completes on one laptop core.
+func TestTableIIGrid(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline is slow")
 	}
-	t2, err := RunTableII(Config{Scale: 0.1, Seed: 42})
+	cfg := Config{Scale: 0.02, Seed: 42}
+
+	// Old sequential path: one platform at a time, one algorithm at a
+	// time, single worker, private cache.
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seqCfg.Fleets = pipeline.NewFleetCache()
+	seq := &TableII{Cells: map[platform.ID]map[Algo]Cell{}, Config: seqCfg.withDefaults()}
+	for _, id := range seqCfg.withDefaults().Platforms {
+		fleet, err := BuildFleet(seqCfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := map[Algo]Cell{}
+		for _, a := range Algos() {
+			cell, err := EvaluateAlgo(seqCfg, fleet, a)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", id, a, err)
+			}
+			cells[a] = cell
+		}
+		seq.Cells[id] = cells
+	}
+
+	// Concurrent pipeline, fresh cache so nothing is shared with the
+	// sequential run.
+	parCfg := cfg
+	parCfg.Workers = 8
+	parCfg.Fleets = pipeline.NewFleetCache()
+	t2, err := RunTableII(parCfg)
 	if err != nil {
 		t.Fatalf("RunTableII: %v", err)
 	}
 	t.Logf("\n%s", t2.Format())
+
+	if got, want := t2.Format(), seq.Format(); got != want {
+		t.Errorf("parallel Table II diverged from the sequential path:\n--- parallel ---\n%s--- sequential ---\n%s", got, want)
+	}
 
 	bestF1 := func(id platform.ID) (float64, Algo) {
 		best, bestA := 0.0, Algo("")
@@ -46,7 +86,7 @@ func TestTableIIShape(t *testing.T) {
 	if purleyBest < 0.45 || purleyBest > 0.85 {
 		t.Errorf("Purley best F1 %.3f outside plausible band [0.45, 0.85]", purleyBest)
 	}
-	if !t2.Cells[platform.Whitley][AlgoRiskyCE].Applicable == false {
+	if t2.Cells[platform.Whitley][AlgoRiskyCE].Applicable {
 		// Baseline must be inapplicable off-Purley.
 		t.Errorf("baseline should be inapplicable on Whitley")
 	}

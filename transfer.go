@@ -1,11 +1,13 @@
 package memfp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"memfp/internal/eval"
 	"memfp/internal/ml/gbdt"
+	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
@@ -25,32 +27,54 @@ type TransferResult struct {
 // RunTransferMatrix trains a GBDT per platform and evaluates every model
 // on every platform's test partition.
 func RunTransferMatrix(cfg Config) ([]TransferResult, error) {
+	return RunTransferMatrixCtx(context.Background(), cfg)
+}
+
+// RunTransferMatrixCtx runs the transfer matrix as a two-stage pipeline:
+// stage one builds and trains one GBDT per platform in parallel; stage two
+// fans the source × destination evaluation cells out across the pool.
+func RunTransferMatrixCtx(ctx context.Context, cfg Config) ([]TransferResult, error) {
 	cfg = cfg.withDefaults()
 	type trained struct {
 		fleet *Fleet
 		model *gbdt.Model
 	}
+	ts, err := pipeline.Map(ctx, cfg.Workers, cfg.Platforms,
+		func(id platform.ID) string { return "transfer/train/" + string(id) },
+		func(ctx context.Context, id platform.ID) (trained, error) {
+			fleet, err := BuildFleetCtx(ctx, cfg, id)
+			if err != nil {
+				return trained{}, err
+			}
+			p := gbdt.DefaultParams()
+			p.Seed = cfg.Seed
+			m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
+				fleet.Split.Val.X, fleet.Split.Val.Y, p)
+			if err != nil {
+				return trained{}, fmt.Errorf("memfp: transfer train %s: %w", id, err)
+			}
+			return trained{fleet: fleet, model: m}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	models := map[platform.ID]trained{}
-	for _, id := range cfg.Platforms {
-		fleet, err := BuildFleet(cfg, id)
-		if err != nil {
-			return nil, err
+	for i, id := range cfg.Platforms {
+		models[id] = ts[i]
+	}
+
+	type pair struct{ src, dst platform.ID }
+	var pairs []pair
+	for _, src := range cfg.Platforms {
+		for _, dst := range cfg.Platforms {
+			pairs = append(pairs, pair{src, dst})
 		}
-		p := gbdt.DefaultParams()
-		p.Seed = cfg.Seed
-		m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
-			fleet.Split.Val.X, fleet.Split.Val.Y, p)
-		if err != nil {
-			return nil, fmt.Errorf("memfp: transfer train %s: %w", id, err)
-		}
-		models[id] = trained{fleet: fleet, model: m}
 	}
 	vp := eval.DefaultVIRRParams()
-	var out []TransferResult
-	for _, src := range cfg.Platforms {
-		srcT := models[src]
-		for _, dst := range cfg.Platforms {
-			dstT := models[dst]
+	return pipeline.Map(ctx, cfg.Workers, pairs,
+		func(p pair) string { return fmt.Sprintf("transfer/%s->%s", p.src, p.dst) },
+		func(ctx context.Context, p pair) (TransferResult, error) {
+			srcT, dstT := models[p.src], models[p.dst]
 			// Threshold tuned on the *source* platform's validation —
 			// exactly what naive reuse of a foreign model would do.
 			val := srcT.fleet.Split.Val
@@ -70,13 +94,11 @@ func RunTransferMatrix(cfg Config) ([]TransferResult, error) {
 				testScores[i] = d.Score
 			}
 			th := eval.TuneThreshold(valDS, vp, 20, 1.6, baseRate, testScores)
-			out = append(out, TransferResult{
-				TrainOn: src, TestOn: dst,
+			return TransferResult{
+				TrainOn: p.src, TestOn: p.dst,
 				Metrics: eval.Compute(eval.ConfusionAt(testDS, th), vp),
-			})
-		}
-	}
-	return out, nil
+			}, nil
+		})
 }
 
 // FormatTransferMatrix renders the matrix with F1 cells.
