@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-cache ci
+.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race ci
 
 all: build
 
@@ -32,4 +32,27 @@ bench:
 bench-cache:
 	$(GO) test -run '^$$' -bench BenchmarkTableIIFleetCache -benchtime 2x -timeout 30m .
 
-ci: build vet fmt test
+# Per-phase benchmarks (generate / extract / train / eval) at the
+# benchmark scale (0.02), recorded as BENCH_PR2.json so perf PRs can
+# compare phase-by-phase.
+bench-quick:
+	$(GO) test -run '^$$' -bench '^BenchmarkPhase' -benchtime 1x -timeout 30m . \
+		> BENCH_PR2.txt
+	cat BENCH_PR2.txt
+	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"benchmarks\": {" ; n=0 } \
+		/^BenchmarkPhase/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			for (i=2; i<=NF; i++) if ($$(i) == "ns/op") { \
+				if (n++) printf ","; \
+				printf "\n    \"%s\": { \"seconds\": %.3f }", name, $$(i-1)/1e9 } } \
+		END { print "\n  }\n}" }' BENCH_PR2.txt > BENCH_PR2.json
+	@rm -f BENCH_PR2.txt
+	@echo "wrote BENCH_PR2.json"
+
+# Race-detector pass over the concurrency-bearing packages: the worker
+# pool, the parallel fleet generator, the indexed trace store, sharded
+# feature extraction, and the fleet cache / experiment pipeline.
+test-race:
+	$(GO) test -race -timeout 20m ./internal/par/ ./internal/faultsim/ \
+		./internal/trace/ ./internal/features/ ./internal/pipeline/
+
+ci: build vet fmt test-race test

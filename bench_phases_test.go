@@ -1,0 +1,104 @@
+package memfp
+
+// Per-phase benchmarks: where a Table II run spends its wall-clock, split
+// into the pipeline's four phases — fleet generation, feature extraction,
+// model training, and evaluation — so perf work can see which layer moved.
+// `make bench-quick` runs exactly these and records BENCH_PR2.json.
+
+import (
+	"context"
+	"testing"
+
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/features"
+	"memfp/internal/ml/gbdt"
+	"memfp/internal/pipeline"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// BenchmarkPhaseGenerate measures uncached fleet generation (all workers).
+func BenchmarkPhaseGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := faultsim.Generate(faultsim.Config{
+			Platform: platform.Purley, Scale: benchScale, Seed: 42,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseGenerateSequential is the same generation pinned to one
+// worker — the parallel generator's baseline.
+func BenchmarkPhaseGenerateSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := faultsim.Generate(faultsim.Config{
+			Platform: platform.Purley, Scale: benchScale, Seed: 42, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseExtract measures feature extraction + labeling over a
+// pre-generated fleet.
+func BenchmarkPhaseExtract(b *testing.B) {
+	res, err := pipeline.Generate(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := features.NewExtractor()
+	cfg := features.DefaultSamplerConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := features.BuildAll(x, cfg, res.Store)
+		b.ReportMetric(float64(len(samples)), "samples")
+	}
+}
+
+// BenchmarkPhaseTrain measures GBDT training on a prebuilt fleet.
+func BenchmarkPhaseTrain(b *testing.B) {
+	fleet, err := BuildFleet(Config{Scale: benchScale, Seed: 42}, platform.Purley)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := gbdt.DefaultParams()
+		p.Seed = 42
+		if _, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
+			fleet.Split.Val.X, fleet.Split.Val.Y, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseEval measures the post-training phase: scoring the
+// validation and test partitions, DIMM-window aggregation and threshold
+// tuning.
+func BenchmarkPhaseEval(b *testing.B) {
+	fleet, err := BuildFleet(Config{Scale: benchScale, Seed: 42}, platform.Purley)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gbdt.DefaultParams()
+	p.Seed = 42
+	m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
+		fleet.Split.Val.X, fleet.Split.Val.Y, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := fleet.Split.Val
+		valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times, m.PredictBatch(val.X), val.Y, 30*trace.Day)
+		test := fleet.Split.Test
+		testDS := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, m.PredictBatch(test.X), test.Y, 30*trace.Day)
+		_, best := eval.BestF1Threshold(valDS, eval.DefaultVIRRParams())
+		metrics := eval.Compute(eval.ConfusionAt(testDS, 0.5), eval.DefaultVIRRParams())
+		b.ReportMetric(best.F1, "val-F1")
+		b.ReportMetric(metrics.F1, "test-F1")
+	}
+}

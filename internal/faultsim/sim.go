@@ -1,10 +1,12 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"memfp/internal/dram"
+	"memfp/internal/par"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 	"memfp/internal/xrand"
@@ -23,6 +25,11 @@ type Config struct {
 	// Calib overrides the default calibration when non-nil (used by
 	// calibration tests and ablations).
 	Calib *Calibration
+	// Workers bounds generation concurrency: 0 runs one worker per CPU,
+	// 1 forces the sequential path. Each DIMM draws its randomness from an
+	// index-addressable stream (xrand.Derive), so the generated fleet is
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // Truth records the generator's hidden state for one DIMM. It exists for
@@ -70,8 +77,40 @@ var modeRateMult = map[Mode]float64{
 	ModeMultiDevice: 2.6,
 }
 
+// genEnv bundles the read-only inputs shared by every per-DIMM generation
+// task. Workers only read it, so one copy serves the whole pool.
+type genEnv struct {
+	platform    *platform.Platform
+	platformID  platform.ID
+	calib       *Calibration
+	maxEvents   int
+	x4Parts     []platform.DIMMPart
+	x8Parts     []platform.DIMMPart
+	modes       []Mode
+	modeWeights []float64
+	slots       int
+	base        uint64 // per-platform seed base for xrand.Derive streams
+}
+
+// dimmShard is one per-DIMM generation result: the ground truth and the
+// DIMM's events in emission order, buffered locally so workers never touch
+// the shared store. Shards are merged into the store in DIMM-index order,
+// which makes the parallel generator byte-identical to the sequential one.
+type dimmShard struct {
+	truth  *Truth
+	events []trace.Event
+}
+
 // Generate simulates one platform fleet.
 func Generate(cfg Config) (*Result, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with cancellation. DIMMs are sharded across a
+// worker pool (cfg.Workers); each DIMM's randomness comes from
+// xrand.Derive(base, dimmIndex), so the output is independent of worker
+// count and scheduling order.
+func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("faultsim: scale must be positive, got %v", cfg.Scale)
 	}
@@ -94,15 +133,6 @@ func Generate(cfg Config) (*Result, error) {
 		maxEvents = 2500
 	}
 
-	rng := xrand.New(cfg.Seed ^ hashPlatform(cfg.Platform))
-	store := trace.NewStore()
-	truth := &GroundTruth{ByDIMM: make(map[trace.DIMMID]*Truth)}
-
-	nCE := int(math.Round(float64(calib.CEDIMMs) * cfg.Scale))
-	if nCE < 1 {
-		nCE = 1
-	}
-
 	// x4 parts dominate the studied population (the paper's bit-level
 	// analysis is for x4 DRAM).
 	catalog := platform.Catalog()
@@ -115,71 +145,127 @@ func Generate(cfg Config) (*Result, error) {
 		}
 	}
 
-	modeWeights := make([]float64, len(Modes()))
-	for i, m := range Modes() {
+	modes := Modes()
+	modeWeights := make([]float64, len(modes))
+	for i, m := range modes {
 		modeWeights[i] = calib.ModeMix[m]
 	}
 
-	slots := p.Sockets * p.ChannelsPerSocket * p.DIMMsPerChannel
+	env := &genEnv{
+		platform:    p,
+		platformID:  cfg.Platform,
+		calib:       calib,
+		maxEvents:   maxEvents,
+		x4Parts:     x4Parts,
+		x8Parts:     x8Parts,
+		modes:       modes,
+		modeWeights: modeWeights,
+		slots:       p.Sockets * p.ChannelsPerSocket * p.DIMMsPerChannel,
+		base:        cfg.Seed ^ hashPlatform(cfg.Platform),
+	}
+
+	nCE := int(math.Round(float64(calib.CEDIMMs) * cfg.Scale))
+	if nCE < 1 {
+		nCE = 1
+	}
+
+	store := trace.NewStore()
+	truth := &GroundTruth{ByDIMM: make(map[trace.DIMMID]*Truth)}
+	merge := func(shards []*dimmShard) error {
+		for _, sh := range shards {
+			t := sh.truth
+			if _, err := store.Register(t.ID, t.Part); err != nil {
+				return err
+			}
+			if err := store.AppendEvents(t.ID, sh.events); err != nil {
+				return err
+			}
+			truth.ByDIMM[t.ID] = t
+			truth.List = append(truth.List, t)
+		}
+		return nil
+	}
+
+	shardName := func(i int) string { return fmt.Sprintf("gen/%s/dimm%06d", cfg.Platform, i) }
+	shards, err := par.MapN(ctx, cfg.Workers, nCE, shardName,
+		func(_ context.Context, i int) (*dimmShard, error) {
+			return genCEDIMM(env, i)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := merge(shards); err != nil {
+		return nil, err
+	}
 	predictableUEs := 0
-
-	for i := 0; i < nCE; i++ {
-		drng := rng.Split()
-		part := x4Parts[drng.Intn(len(x4Parts))]
-		if drng.Bool(0.15) && len(x8Parts) > 0 {
-			part = x8Parts[drng.Intn(len(x8Parts))]
-		}
-		id := trace.DIMMID{Platform: cfg.Platform, Server: i, Slot: drng.Intn(slots)}
-		mode := Modes()[drng.Categorical(modeWeights)]
-		ueBound := drng.Bool(calib.UEHazard[mode])
-
-		prof := sampleProfile(calib, ueBound, drng)
-		fault := NewFault(mode, prof, part.Geometry, drng)
-
-		t := &Truth{ID: id, Part: part, Mode: mode, Profile: prof, UETime: -1}
-		if _, err := store.Register(id, part); err != nil {
-			return nil, err
-		}
-		if err := emitDIMM(store, p, calib, fault, t, ueBound, maxEvents, drng); err != nil {
-			return nil, err
-		}
-		if t.UE() {
+	for _, sh := range shards {
+		if sh.truth.UE() {
 			predictableUEs++
 		}
-		truth.ByDIMM[id] = t
-		truth.List = append(truth.List, t)
 	}
 
 	// Sudden-UE DIMMs: UEs with no CE history, sized so the
-	// sudden/predictable split matches Table I.
+	// sudden/predictable split matches Table I. Their stream indices start
+	// at nCE, after the CE DIMMs'.
 	nSudden := int(math.Round(float64(predictableUEs) * calib.SuddenShare / (1 - calib.SuddenShare)))
-	for i := 0; i < nSudden; i++ {
-		drng := rng.Split()
-		part := x4Parts[drng.Intn(len(x4Parts))]
-		id := trace.DIMMID{Platform: cfg.Platform, Server: nCE + i, Slot: drng.Intn(slots)}
-		mode := Modes()[drng.Categorical(modeWeights)]
-		fault := NewFault(mode, ProfileSingleBit, part.Geometry, drng)
-		ueTime := trace.Minutes(drng.Int63n(int64(trace.ObservationSpan)))
-		if _, err := store.Register(id, part); err != nil {
-			return nil, err
-		}
-		if _, err := fault.EscalationTransaction(p, part.Width, drng); err != nil {
-			return nil, err
-		}
-		if err := store.Append(trace.Event{
-			Time: ueTime, Type: trace.TypeUE, DIMM: id, Addr: fault.UEAddr(drng),
-		}); err != nil {
-			return nil, err
-		}
-		t := &Truth{ID: id, Part: part, Mode: mode, Profile: ProfileSingleBit,
-			UETime: ueTime, Sudden: true}
-		truth.ByDIMM[id] = t
-		truth.List = append(truth.List, t)
+	sudden, err := par.MapN(ctx, cfg.Workers, nSudden, shardName,
+		func(_ context.Context, i int) (*dimmShard, error) {
+			return genSuddenDIMM(env, nCE, i)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := merge(sudden); err != nil {
+		return nil, err
 	}
 
-	store.SortAll()
-	trace.AnnotateStorms(store, trace.DefaultStormConfig())
+	store.SortAllWorkers(cfg.Workers)
+	trace.AnnotateStormsWorkers(store, trace.DefaultStormConfig(), cfg.Workers)
 	return &Result{Platform: p, Calib: calib, Store: store, Truth: truth}, nil
+}
+
+// genCEDIMM generates CE DIMM i: part and fault-mode draws, then the CE
+// stream (and UE, when the fault is UE-bound) into a local shard.
+func genCEDIMM(env *genEnv, i int) (*dimmShard, error) {
+	drng := xrand.Derive(env.base, uint64(i))
+	part := env.x4Parts[drng.Intn(len(env.x4Parts))]
+	if drng.Bool(0.15) && len(env.x8Parts) > 0 {
+		part = env.x8Parts[drng.Intn(len(env.x8Parts))]
+	}
+	id := trace.DIMMID{Platform: env.platformID, Server: i, Slot: drng.Intn(env.slots)}
+	mode := env.modes[drng.Categorical(env.modeWeights)]
+	ueBound := drng.Bool(env.calib.UEHazard[mode])
+
+	prof := sampleProfile(env.calib, ueBound, drng)
+	fault := NewFault(mode, prof, part.Geometry, drng)
+
+	sh := &dimmShard{truth: &Truth{ID: id, Part: part, Mode: mode, Profile: prof, UETime: -1}}
+	if err := emitDIMM(sh, env.platform, env.calib, fault, sh.truth, ueBound, env.maxEvents, drng); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// genSuddenDIMM generates sudden-UE DIMM i (stream index nCE+i): a single
+// UE with no CE history.
+func genSuddenDIMM(env *genEnv, nCE, i int) (*dimmShard, error) {
+	drng := xrand.Derive(env.base, uint64(nCE+i))
+	part := env.x4Parts[drng.Intn(len(env.x4Parts))]
+	id := trace.DIMMID{Platform: env.platformID, Server: nCE + i, Slot: drng.Intn(env.slots)}
+	mode := env.modes[drng.Categorical(env.modeWeights)]
+	fault := NewFault(mode, ProfileSingleBit, part.Geometry, drng)
+	ueTime := trace.Minutes(drng.Int63n(int64(trace.ObservationSpan)))
+	if _, err := fault.EscalationTransaction(env.platform, part.Width, drng); err != nil {
+		return nil, err
+	}
+	sh := &dimmShard{
+		truth: &Truth{ID: id, Part: part, Mode: mode, Profile: ProfileSingleBit,
+			UETime: ueTime, Sudden: true},
+		events: []trace.Event{{
+			Time: ueTime, Type: trace.TypeUE, DIMM: id, Addr: fault.UEAddr(drng),
+		}},
+	}
+	return sh, nil
 }
 
 // sampleProfile draws the fault's signature profile from the calibrated
@@ -203,8 +289,9 @@ func sampleProfile(c *Calibration, ueBound bool, rng *xrand.RNG) Profile {
 	return profs[rng.Categorical(weights)]
 }
 
-// emitDIMM generates the CE stream (and UE, when ueBound) for one DIMM.
-func emitDIMM(store *trace.Store, p *platform.Platform, calib *Calibration,
+// emitDIMM generates the CE stream (and UE, when ueBound) for one DIMM,
+// buffering events into the DIMM's shard.
+func emitDIMM(sh *dimmShard, p *platform.Platform, calib *Calibration,
 	fault *Fault, t *Truth, ueBound bool, maxEvents int, rng *xrand.RNG) error {
 
 	spanDays := int(trace.ObservationSpan / trace.Day)
@@ -291,12 +378,10 @@ func emitDIMM(store *trace.Store, p *platform.Platform, calib *Calibration,
 			if err != nil {
 				return err
 			}
-			if err := store.Append(trace.Event{
+			sh.events = append(sh.events, trace.Event{
 				Time: ts, Type: trace.TypeCE, DIMM: t.ID,
 				Addr: fault.SampleAddr(rng), Bits: bits,
-			}); err != nil {
-				return err
-			}
+			})
 			total++
 		}
 	}
@@ -315,23 +400,19 @@ func emitDIMM(store *trace.Store, p *platform.Platform, calib *Calibration,
 		if err != nil {
 			return err
 		}
-		if err := store.Append(trace.Event{
+		sh.events = append(sh.events, trace.Event{
 			Time: ts, Type: trace.TypeCE, DIMM: t.ID,
 			Addr: fault.SampleAddr(rng), Bits: bits,
-		}); err != nil {
-			return err
-		}
+		})
 	}
 
 	if ueBound {
 		if _, err := fault.EscalationTransaction(p, t.Part.Width, rng); err != nil {
 			return err
 		}
-		if err := store.Append(trace.Event{
+		sh.events = append(sh.events, trace.Event{
 			Time: ueMinute, Type: trace.TypeUE, DIMM: t.ID, Addr: fault.UEAddr(rng),
-		}); err != nil {
-			return err
-		}
+		})
 	}
 	return nil
 }

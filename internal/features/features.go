@@ -7,6 +7,7 @@ package features
 
 import (
 	"fmt"
+	"sort"
 
 	"memfp/internal/analysis"
 	"memfp/internal/dram"
@@ -101,67 +102,103 @@ func NewExtractor() *Extractor {
 
 // Extract computes the feature vector for DIMM l at prediction instant t.
 // Only events strictly before or at t are consulted; the function is safe
-// to call at any t regardless of the DIMM's future.
+// to call at any t regardless of the DIMM's future. For repeated
+// extraction over one DIMM's instants, use NewCursor — it shares the
+// lifetime accumulators across instants instead of re-scanning the full
+// history each time.
 func (x *Extractor) Extract(l *trace.DIMMLog, t trace.Minutes) []float64 {
+	return x.NewCursor(l).ExtractAt(t)
+}
+
+// Cursor walks one DIMM's event history forward, extracting feature
+// vectors at a nondecreasing sequence of prediction instants in a single
+// pass: lifetime statistics (CE totals, first/last CE, the §V fault
+// classification, distinct-structure counts) are folded in incrementally
+// as each CE is consumed exactly once, while window-bounded features are
+// computed over binary-searched subslices of the time-sorted CE view.
+// BuildSamples replaces its per-instant full-history re-extraction (up to
+// 48 scans per DIMM) with one cursor walk.
+//
+// A Cursor reads the log but never mutates it, so concurrent cursors may
+// share one DIMM log; a single Cursor is not safe for concurrent use.
+type Cursor struct {
+	x      *Extractor
+	l      *trace.DIMMLog
+	ces    []trace.Event // time-sorted CE view (shared with the log's index)
+	storms []trace.Minutes
+
+	pos      int // CEs consumed so far: ces[:pos] all have Time <= last t
+	stormPos int // storms consumed so far
+
+	// Lifetime accumulators over ces[:pos].
+	firstCE, lastCE trace.Minutes
+	life            *analysis.Incremental
+}
+
+// NewCursor starts an extraction pass over l from the beginning of its
+// history.
+func (x *Extractor) NewCursor(l *trace.DIMMLog) *Cursor {
+	return &Cursor{
+		x:       x,
+		l:       l,
+		ces:     l.CEs(),
+		storms:  l.StormTimes(),
+		firstCE: -1,
+		lastCE:  -1,
+		life:    analysis.NewIncremental(x.Thresholds),
+	}
+}
+
+// advance consumes events up to and including instant t.
+func (c *Cursor) advance(t trace.Minutes) {
+	for c.pos < len(c.ces) && c.ces[c.pos].Time <= t {
+		e := c.ces[c.pos]
+		if c.firstCE < 0 {
+			c.firstCE = e.Time
+		}
+		c.lastCE = e.Time
+		c.life.Add(e)
+		c.pos++
+	}
+	for c.stormPos < len(c.storms) && c.storms[c.stormPos] <= t {
+		c.stormPos++
+	}
+}
+
+// ceCountSince returns the number of consumed CEs with Time >= from, i.e.
+// CEs in [from, t] after advance(t).
+func (c *Cursor) ceCountSince(from trace.Minutes) int {
+	return c.pos - sort.Search(c.pos, func(i int) bool { return c.ces[i].Time >= from })
+}
+
+// ExtractAt computes the feature vector at instant t. Instants must be
+// passed in nondecreasing order over the life of the cursor.
+func (c *Cursor) ExtractAt(t trace.Minutes) []float64 {
+	c.advance(t)
+	l, x := c.l, c.x
 	f := make([]float64, Dim())
 	w := x.Windows.Observation
-	winStart := t - w
-	if winStart < 0 {
-		winStart = 0
+
+	ce5dStart := sort.Search(c.pos, func(i int) bool { return c.ces[i].Time >= t-w })
+	windowCEs := c.ces[ce5dStart:c.pos]
+	ce5d := len(windowCEs)
+	ceTotal := c.pos
+
+	stormsTotal := c.stormPos
+	storms5d := c.stormPos - sort.Search(c.stormPos, func(i int) bool { return c.storms[i] >= t-w })
+
+	activeDays := map[trace.Minutes]struct{}{}
+	for _, e := range windowCEs {
+		activeDays[e.Time/trace.Day] = struct{}{}
 	}
 
-	var (
-		ce15m, ce1h, ce6h, ce1d, ce5d, ceTotal int
-		storms5d, stormsTotal                  int
-		firstCE, lastCE                        trace.Minutes = -1, -1
-		windowCEs, lifeCEs                     []trace.Event
-		activeDays                             = map[trace.Minutes]struct{}{}
-	)
-	for _, e := range l.Events {
-		if e.Time > t {
-			break
-		}
-		switch e.Type {
-		case trace.TypeCE:
-			ceTotal++
-			if firstCE < 0 {
-				firstCE = e.Time
-			}
-			lastCE = e.Time
-			lifeCEs = append(lifeCEs, e)
-			d := t - e.Time
-			if d <= 15 {
-				ce15m++
-			}
-			if d <= trace.Hour {
-				ce1h++
-			}
-			if d <= 6*trace.Hour {
-				ce6h++
-			}
-			if d <= trace.Day {
-				ce1d++
-			}
-			if d <= w {
-				ce5d++
-				windowCEs = append(windowCEs, e)
-				activeDays[e.Time/trace.Day] = struct{}{}
-			}
-		case trace.TypeStorm:
-			stormsTotal++
-			if t-e.Time <= w {
-				storms5d++
-			}
-		}
-	}
-
-	set := func(i int, v float64) { f[i] = v }
 	i := 0
-	next := func(v float64) { set(i, v); i++ }
+	next := func(v float64) { f[i] = v; i++ }
 
-	next(float64(ce15m))
-	next(float64(ce1h))
-	next(float64(ce6h))
+	next(float64(c.ceCountSince(t - 15)))
+	next(float64(c.ceCountSince(t - trace.Hour)))
+	next(float64(c.ceCountSince(t - 6*trace.Hour)))
+	ce1d := c.ceCountSince(t - trace.Day)
 	next(float64(ce1d))
 	next(float64(ce5d))
 	next(float64(ceTotal))
@@ -173,9 +210,9 @@ func (x *Extractor) Extract(l *trace.DIMMLog, t trace.Minutes) []float64 {
 	next(accel)
 	next(float64(storms5d))
 	next(float64(stormsTotal))
-	if firstCE >= 0 {
-		next(float64(t - firstCE))
-		next(float64(t - lastCE))
+	if c.firstCE >= 0 {
+		next(float64(t - c.firstCE))
+		next(float64(t - c.lastCE))
 	} else {
 		next(-1)
 		next(-1)
@@ -190,7 +227,7 @@ func (x *Extractor) Extract(l *trace.DIMMLog, t trace.Minutes) []float64 {
 	next(float64(clsW.FaultyDevices))
 	next(boolf(clsW.MultiDevice))
 
-	clsL := analysis.Classify(lifeCEs, x.Thresholds)
+	clsL := c.life.Class()
 	next(float64(clsL.FaultyCells))
 	next(float64(clsL.FaultyRows))
 	next(float64(clsL.FaultyCols))
@@ -198,26 +235,10 @@ func (x *Extractor) Extract(l *trace.DIMMLog, t trace.Minutes) []float64 {
 	next(float64(clsL.FaultyDevices))
 	next(boolf(clsL.MultiDevice))
 
-	banks := map[[3]int]struct{}{}
-	rows := map[[4]int]struct{}{}
-	cols := map[[4]int]struct{}{}
-	cellCE := map[[5]int]int{}
-	maxCell := 0
-	for _, e := range lifeCEs {
-		a := e.Addr
-		banks[[3]int{a.Rank, a.Device, a.Bank}] = struct{}{}
-		rows[[4]int{a.Rank, a.Device, a.Bank, a.Row}] = struct{}{}
-		cols[[4]int{a.Rank, a.Device, a.Bank, a.Column}] = struct{}{}
-		k := [5]int{a.Rank, a.Device, a.Bank, a.Row, a.Column}
-		cellCE[k]++
-		if cellCE[k] > maxCell {
-			maxCell = cellCE[k]
-		}
-	}
-	next(float64(len(banks)))
-	next(float64(len(rows)))
-	next(float64(len(cols)))
-	next(float64(maxCell))
+	next(float64(c.life.DistinctBanks()))
+	next(float64(c.life.DistinctRows()))
+	next(float64(c.life.DistinctCols()))
+	next(float64(c.life.MaxCellCEs()))
 
 	var nBits, dq1, dq2, dq4, dq3p, beat2, beat5, bint4, sumBits, maxBits int
 	for _, e := range windowCEs {

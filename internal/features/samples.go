@@ -1,6 +1,7 @@
 package features
 
 import (
+	"memfp/internal/par"
 	"memfp/internal/trace"
 )
 
@@ -39,15 +40,13 @@ func DefaultSamplerConfig() SamplerConfig {
 }
 
 // Instants returns the prediction instants for one DIMM: one at each CE
-// arrival (post-thinning), stopping before the DIMM's UE if any.
+// arrival (post-thinning), stopping before the DIMM's UE if any. Instants
+// are returned in increasing time order.
 func (c SamplerConfig) Instants(l *trace.DIMMLog) []trace.Minutes {
 	ue, hasUE := l.FirstUE()
 	var out []trace.Minutes
 	last := trace.Minutes(-1 << 62)
-	for _, e := range l.Events {
-		if e.Type != trace.TypeCE {
-			continue
-		}
+	for _, e := range l.CEs() {
 		if hasUE && e.Time >= ue {
 			break
 		}
@@ -58,8 +57,13 @@ func (c SamplerConfig) Instants(l *trace.DIMMLog) []trace.Minutes {
 		last = e.Time
 	}
 	if c.MaxPerDIMM > 0 && len(out) > c.MaxPerDIMM {
-		// Keep an even spread, always retaining the final instant (the
-		// one closest to a potential UE).
+		if c.MaxPerDIMM == 1 {
+			// The even-spread step below divides by MaxPerDIMM-1; with a
+			// single slot, keep the final instant (the one closest to a
+			// potential UE).
+			return []trace.Minutes{out[len(out)-1]}
+		}
+		// Keep an even spread, always retaining the final instant.
 		kept := make([]trace.Minutes, 0, c.MaxPerDIMM)
 		step := float64(len(out)-1) / float64(c.MaxPerDIMM-1)
 		for i := 0; i < c.MaxPerDIMM; i++ {
@@ -71,9 +75,12 @@ func (c SamplerConfig) Instants(l *trace.DIMMLog) []trace.Minutes {
 }
 
 // BuildSamples extracts labeled samples for one DIMM. Dropped samples
-// (inside the lead gap) are excluded.
+// (inside the lead gap) are excluded. The DIMM's instants are walked with
+// one extraction cursor, so the event history is consumed in a single
+// incremental pass instead of being re-scanned at every instant.
 func BuildSamples(x *Extractor, cfg SamplerConfig, l *trace.DIMMLog) []Sample {
 	ue, hasUE := l.FirstUE()
+	cur := x.NewCursor(l)
 	var out []Sample
 	for _, t := range cfg.Instants(l) {
 		lab := x.Labelize(l, t)
@@ -84,16 +91,33 @@ func BuildSamples(x *Extractor, cfg SamplerConfig, l *trace.DIMMLog) []Sample {
 		if lab == LabelPositive && hasUE {
 			delta = ue - t
 		}
-		out = append(out, Sample{DIMM: l.ID, Time: t, X: x.Extract(l, t), Label: lab, UEDelta: delta})
+		out = append(out, Sample{DIMM: l.ID, Time: t, X: cur.ExtractAt(t), Label: lab, UEDelta: delta})
 	}
 	return out
 }
 
 // BuildAll extracts samples for every DIMM in the store.
 func BuildAll(x *Extractor, cfg SamplerConfig, s *trace.Store) []Sample {
-	var out []Sample
-	for _, l := range s.DIMMs() {
-		out = append(out, BuildSamples(x, cfg, l)...)
+	return BuildAllWorkers(x, cfg, s, 1)
+}
+
+// BuildAllWorkers is BuildAll sharded across a worker pool: one task per
+// DIMM, results concatenated in registration order, so the sample stream
+// is identical for any worker count; workers <= 0 uses one worker per CPU.
+// The extractor and the store are only read.
+func BuildAllWorkers(x *Extractor, cfg SamplerConfig, s *trace.Store, workers int) []Sample {
+	logs := s.DIMMs()
+	perDIMM := make([][]Sample, len(logs))
+	par.ForEachN(workers, len(logs), func(i int) {
+		perDIMM[i] = BuildSamples(x, cfg, logs[i])
+	})
+	n := 0
+	for _, ss := range perDIMM {
+		n += len(ss)
+	}
+	out := make([]Sample, 0, n)
+	for _, ss := range perDIMM {
+		out = append(out, ss...)
 	}
 	return out
 }

@@ -78,8 +78,11 @@ func Generate(ctx context.Context, cfg faultsim.Config) (*faultsim.Result, error
 // Get returns the fleet for cfg, generating it on first use. Configs
 // carrying knobs outside the cache key (a calibration override or event
 // cap) bypass the cache and generate directly, so ablations can never be
-// served a mismatched fleet. Waiting on an in-flight generation respects
-// ctx; the generation itself is charged to the first caller.
+// served a mismatched fleet. cfg.Workers deliberately does NOT bypass or
+// key the cache: the parallel generator is byte-identical for every worker
+// count, so fleets generated at different concurrency are interchangeable.
+// Waiting on an in-flight generation respects ctx; the generation itself
+// is charged to the first caller.
 func (c *FleetCache) Get(ctx context.Context, cfg faultsim.Config) (*faultsim.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -88,7 +91,7 @@ func (c *FleetCache) Get(ctx context.Context, cfg faultsim.Config) (*faultsim.Re
 		c.mu.Lock()
 		c.bypasses++
 		c.mu.Unlock()
-		return faultsim.Generate(cfg)
+		return faultsim.GenerateCtx(ctx, cfg)
 	}
 	key := FleetKey{Platform: cfg.Platform, Scale: cfg.Scale, Seed: cfg.Seed}
 
@@ -108,7 +111,10 @@ func (c *FleetCache) Get(ctx context.Context, cfg faultsim.Config) (*faultsim.Re
 	c.misses++
 	c.mu.Unlock()
 
-	e.res, e.err = faultsim.Generate(cfg)
+	// The leader's ctx governs the generation itself, so cancellation
+	// actually stops the work; a canceled generation is dropped like any
+	// other failure, and a later Get retries from scratch.
+	e.res, e.err = faultsim.GenerateCtx(ctx, cfg)
 	if e.err != nil {
 		// Drop failed generations so a later Get can retry.
 		c.mu.Lock()

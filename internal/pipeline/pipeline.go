@@ -6,36 +6,25 @@
 //
 // The package sits between the simulation substrate (internal/faultsim)
 // and the experiment runners (the memfp root package, cmd/memfp,
-// cmd/mlopsd, benchmarks): it depends only on the substrate, so every
-// layer above can share it without import cycles.
+// cmd/mlopsd, benchmarks). The worker pool itself lives in internal/par —
+// a leaf package — so the substrate below (faultsim's parallel generator)
+// shares the same runner without an import cycle; pipeline re-exports it
+// for every layer above.
 package pipeline
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
+
+	"memfp/internal/par"
 )
 
 // Task is one named unit of experiment work — a Table II cell, a figure
 // panel, a VIRR sweep point — producing a T.
-type Task[T any] struct {
-	// Name identifies the task in error messages ("table2/Intel_Purley/LightGBM").
-	Name string
-	// Run computes the task's result. It must honor ctx cancellation for
-	// long computations, and must not mutate state shared with sibling
-	// tasks.
-	Run func(ctx context.Context) (T, error)
-}
+type Task[T any] = par.Task[T]
 
 // Workers resolves a worker-count knob: n <= 0 means one worker per
 // available CPU.
-func Workers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
+func Workers(n int) int { return par.Workers(n) }
 
 // Run fans tasks out across a pool of at most `workers` goroutines and
 // returns results in task order, regardless of completion order — with the
@@ -44,79 +33,12 @@ func Workers(n int) int {
 // wrapped with the task's name; an already-canceled ctx returns ctx.Err()
 // without starting any task.
 func Run[T any](ctx context.Context, workers int, tasks []Task[T]) ([]T, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	workers = Workers(workers)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	results := make([]T, len(tasks))
-	if len(tasks) == 0 {
-		return results, nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					return
-				}
-				out, err := tasks[i].Run(ctx)
-				if err != nil {
-					fail(fmt.Errorf("%s: %w", tasks[i].Name, err))
-					return
-				}
-				results[i] = out
-			}
-		}()
-	}
-feed:
-	for i := range tasks {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return par.Run(ctx, workers, tasks)
 }
 
 // Map is a convenience wrapper over Run for the common fan-out shape: one
 // task per item, results in item order.
 func Map[I, T any](ctx context.Context, workers int, items []I,
 	name func(I) string, fn func(ctx context.Context, item I) (T, error)) ([]T, error) {
-	tasks := make([]Task[T], len(items))
-	for i, item := range items {
-		tasks[i] = Task[T]{Name: name(item), Run: func(ctx context.Context) (T, error) {
-			return fn(ctx, item)
-		}}
-	}
-	return Run(ctx, workers, tasks)
+	return par.Map(ctx, workers, items, name, fn)
 }

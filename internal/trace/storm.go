@@ -1,5 +1,9 @@
 package trace
 
+import (
+	"memfp/internal/par"
+)
+
 // CE-storm detection (paper §II-C, footnote 3: "CE interruptions repeatedly
 // occur multiple times, e.g., 10 times"). A storm is a window in which CE
 // arrivals on one DIMM meet or exceed a threshold; production firmware
@@ -53,15 +57,30 @@ func DetectStorms(ces []Event, cfg StormConfig) []Event {
 // appends the detected storm events to the logs, resorting each log.
 // It returns the number of storm episodes added.
 func AnnotateStorms(s *Store, cfg StormConfig) int {
-	total := 0
-	for _, l := range s.DIMMs() {
+	return AnnotateStormsWorkers(s, cfg, 1)
+}
+
+// AnnotateStormsWorkers is AnnotateStorms sharded across a worker pool.
+// Detection, the storm append and the per-log resort are all confined to a
+// single DIMM, so the result is identical for any worker count; workers <=
+// 0 uses one worker per CPU.
+func AnnotateStormsWorkers(s *Store, cfg StormConfig, workers int) int {
+	logs := s.DIMMs()
+	counts := make([]int, len(logs))
+	par.ForEachN(workers, len(logs), func(i int) {
+		l := logs[i]
 		storms := DetectStorms(l.CEs(), cfg)
 		if len(storms) == 0 {
-			continue
+			return
 		}
 		l.Events = append(l.Events, storms...)
 		l.SortEvents()
-		total += len(storms)
+		counts[i] = len(storms)
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
 	}
+	s.count(TypeStorm, total)
 	return total
 }

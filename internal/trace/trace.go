@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"memfp/internal/dram"
+	"memfp/internal/par"
 	"memfp/internal/platform"
 )
 
@@ -113,20 +114,92 @@ func (s ByTime) Less(i, j int) bool {
 // DIMMLog is the time-ordered event history of one DIMM together with its
 // static part attributes — the unit of analysis for fault classification,
 // feature extraction, and labeling.
+//
+// SortEvents (and Store.SortAll) additionally builds a per-type index —
+// cached CE/UE subsets, a CE-times slice for binary search, first-CE/UE
+// instants — that turns the hot window queries (CEsBetween, FirstUE,
+// FirstCE, CEs, UEs) into O(log n) or O(1) lookups with no allocation.
+// The index is keyed to len(Events): appending events directly (streaming
+// ingest, tests) silently degrades queries to the original linear scans
+// until the next SortEvents, and never mutates the log, so a fully sorted
+// log is safe for concurrent readers.
 type DIMMLog struct {
 	ID     DIMMID
 	Part   platform.DIMMPart
 	Events []Event // sorted by time
+
+	// Index caches, valid while idxLen == len(Events). The zero value is a
+	// valid index for an empty log.
+	idxLen  int
+	ces     []Event   // CE events in time order
+	ues     []Event   // UE events in time order
+	ceTimes []Minutes // ceTimes[i] == ces[i].Time, for binary search
+	storms  []Minutes // storm event times in order
+	firstCE Minutes
+	firstUE Minutes
+	hasCE   bool
+	hasUE   bool
 }
 
-// SortEvents sorts the event slice in place by time.
-func (d *DIMMLog) SortEvents() { sort.Sort(ByTime(d.Events)) }
+// SortEvents sorts the event slice in place by time and rebuilds the
+// query index.
+func (d *DIMMLog) SortEvents() {
+	sort.Sort(ByTime(d.Events))
+	d.buildIndex()
+}
 
-// CEs returns the CE events (sharing the underlying array).
-func (d *DIMMLog) CEs() []Event { return d.eventsOf(TypeCE) }
+// buildIndex recomputes the cached per-type views from Events. The
+// slices are allocated fresh rather than reusing the old backing arrays:
+// views handed out before a re-sort (CEs, UEs, CEsBetween, StormTimes)
+// then stay stale-but-consistent snapshots instead of being overwritten
+// in place under the holder.
+func (d *DIMMLog) buildIndex() {
+	d.ces = nil
+	d.ues = nil
+	d.ceTimes = nil
+	d.storms = nil
+	d.hasCE, d.hasUE = false, false
+	d.firstCE, d.firstUE = 0, 0
+	for _, e := range d.Events {
+		switch e.Type {
+		case TypeCE:
+			if !d.hasCE {
+				d.hasCE, d.firstCE = true, e.Time
+			}
+			d.ces = append(d.ces, e)
+			d.ceTimes = append(d.ceTimes, e.Time)
+		case TypeUE:
+			if !d.hasUE {
+				d.hasUE, d.firstUE = true, e.Time
+			}
+			d.ues = append(d.ues, e)
+		case TypeStorm:
+			d.storms = append(d.storms, e.Time)
+		}
+	}
+	d.idxLen = len(d.Events)
+}
 
-// UEs returns the UE events (sharing the underlying array).
-func (d *DIMMLog) UEs() []Event { return d.eventsOf(TypeUE) }
+// indexed reports whether the cached views match the current Events slice.
+func (d *DIMMLog) indexed() bool { return d.idxLen == len(d.Events) }
+
+// CEs returns the CE events in time order. On an indexed log the slice is
+// cached and shared — callers must treat it as read-only.
+func (d *DIMMLog) CEs() []Event {
+	if d.indexed() {
+		return d.ces
+	}
+	return d.eventsOf(TypeCE)
+}
+
+// UEs returns the UE events in time order. On an indexed log the slice is
+// cached and shared — callers must treat it as read-only.
+func (d *DIMMLog) UEs() []Event {
+	if d.indexed() {
+		return d.ues
+	}
+	return d.eventsOf(TypeUE)
+}
 
 func (d *DIMMLog) eventsOf(t EventType) []Event {
 	out := make([]Event, 0, len(d.Events))
@@ -139,8 +212,11 @@ func (d *DIMMLog) eventsOf(t EventType) []Event {
 }
 
 // FirstUE returns the time of the first UE and true, or (0, false) when the
-// DIMM never experienced a UE.
+// DIMM never experienced a UE. O(1) on an indexed log.
 func (d *DIMMLog) FirstUE() (Minutes, bool) {
+	if d.indexed() {
+		return d.firstUE, d.hasUE
+	}
 	for _, e := range d.Events {
 		if e.Type == TypeUE {
 			return e.Time, true
@@ -149,8 +225,12 @@ func (d *DIMMLog) FirstUE() (Minutes, bool) {
 	return 0, false
 }
 
-// FirstCE returns the time of the first CE and true, or (0, false).
+// FirstCE returns the time of the first CE and true, or (0, false). O(1) on
+// an indexed log.
 func (d *DIMMLog) FirstCE() (Minutes, bool) {
+	if d.indexed() {
+		return d.firstCE, d.hasCE
+	}
 	for _, e := range d.Events {
 		if e.Type == TypeCE {
 			return e.Time, true
@@ -159,8 +239,14 @@ func (d *DIMMLog) FirstCE() (Minutes, bool) {
 	return 0, false
 }
 
-// CEsBetween returns CE events with Time in [from, to).
+// CEsBetween returns CE events with Time in [from, to). On an indexed log
+// this is a binary-searched subslice of the cached CE view — O(log n), no
+// allocation — and must be treated as read-only.
 func (d *DIMMLog) CEsBetween(from, to Minutes) []Event {
+	if d.indexed() {
+		lo, hi := d.ceRange(from, to)
+		return d.ces[lo:hi]
+	}
 	out := []Event{}
 	for _, e := range d.Events {
 		if e.Type != TypeCE {
@@ -173,11 +259,51 @@ func (d *DIMMLog) CEsBetween(from, to Minutes) []Event {
 	return out
 }
 
+// ceRange returns the index range [lo, hi) of cached CEs with Time in
+// [from, to). Callers must hold an indexed log.
+func (d *DIMMLog) ceRange(from, to Minutes) (lo, hi int) {
+	lo = sort.Search(len(d.ceTimes), func(i int) bool { return d.ceTimes[i] >= from })
+	hi = sort.Search(len(d.ceTimes), func(i int) bool { return d.ceTimes[i] >= to })
+	return lo, hi
+}
+
+// StormTimes returns the times of the DIMM's storm events in time order.
+// On an indexed log the slice is cached and shared — callers must treat it
+// as read-only.
+func (d *DIMMLog) StormTimes() []Minutes {
+	if d.indexed() {
+		return d.storms
+	}
+	var out []Minutes
+	for _, e := range d.Events {
+		if e.Type == TypeStorm {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// CountCEsBetween returns the number of CE events with Time in [from, to)
+// without materializing them. O(log n) on an indexed log.
+func (d *DIMMLog) CountCEsBetween(from, to Minutes) int {
+	if d.indexed() {
+		lo, hi := d.ceRange(from, to)
+		return hi - lo
+	}
+	return len(d.CEsBetween(from, to))
+}
+
 // Store is an in-memory event store for a fleet: the "data lake" stage of
 // the paper's pipeline. It indexes logs per DIMM and keeps them sorted.
 type Store struct {
 	logs  map[DIMMID]*DIMMLog
 	order []DIMMID // insertion order for deterministic iteration
+	// counts maintains per-type event totals as events are appended, so
+	// CountEvents is O(1) instead of a double loop over the fleet. Only
+	// events added through Store methods (Append, AppendEvents,
+	// AnnotateStorms) are counted; direct DIMMLog.Events mutation is not
+	// visible here.
+	counts [3]int64
 }
 
 // NewStore returns an empty store.
@@ -204,7 +330,36 @@ func (s *Store) Append(e Event) error {
 		return fmt.Errorf("trace: event for unregistered DIMM %s", e.DIMM)
 	}
 	l.Events = append(l.Events, e)
+	s.count(e.Type, 1)
 	return nil
+}
+
+// AppendEvents bulk-appends events to one DIMM's log with a single map
+// lookup — the merge path of the parallel fleet generator. Every event
+// must belong to the given DIMM.
+func (s *Store) AppendEvents(id DIMMID, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	l, ok := s.logs[id]
+	if !ok {
+		return fmt.Errorf("trace: events for unregistered DIMM %s", id)
+	}
+	for _, e := range events {
+		if e.DIMM != id {
+			return fmt.Errorf("trace: event for DIMM %s appended to log of %s", e.DIMM, id)
+		}
+		s.count(e.Type, 1)
+	}
+	l.Events = append(l.Events, events...)
+	return nil
+}
+
+// count bumps the per-type counter, ignoring unknown types defensively.
+func (s *Store) count(t EventType, n int) {
+	if t >= 0 && int(t) < len(s.counts) {
+		s.counts[t] += int64(n)
+	}
 }
 
 // Get returns the log for a DIMM, or nil when absent.
@@ -222,22 +377,24 @@ func (s *Store) DIMMs() []*DIMMLog {
 	return out
 }
 
-// SortAll sorts every DIMM's events by time; call once after bulk loading.
-func (s *Store) SortAll() {
-	for _, l := range s.logs {
-		l.SortEvents()
-	}
+// SortAll sorts every DIMM's events by time and builds each log's query
+// index; call once after bulk loading.
+func (s *Store) SortAll() { s.SortAllWorkers(1) }
+
+// SortAllWorkers is SortAll sharded across a worker pool. Sorting and
+// indexing are per-log operations, so the result is identical for any
+// worker count; workers <= 0 uses one worker per CPU.
+func (s *Store) SortAllWorkers(workers int) {
+	logs := s.DIMMs()
+	par.ForEachN(workers, len(logs), func(i int) { logs[i].SortEvents() })
 }
 
-// CountEvents returns the total number of events of the given type.
+// CountEvents returns the total number of events of the given type that
+// were appended through Store methods. O(1): the store maintains per-type
+// counters on Append instead of rescanning the fleet.
 func (s *Store) CountEvents(t EventType) int {
-	n := 0
-	for _, l := range s.logs {
-		for _, e := range l.Events {
-			if e.Type == t {
-				n++
-			}
-		}
+	if t >= 0 && int(t) < len(s.counts) {
+		return int(s.counts[t])
 	}
-	return n
+	return 0
 }

@@ -40,6 +40,23 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// Derive returns the generator for stream i of the given seed. Unlike
+// Split, which consumes parent state and therefore ties each child to the
+// sequential order of Split calls, Derive is index-addressable: the stream
+// depends only on (seed, i), so workers can draw streams for arbitrary
+// indices in any order — the foundation of deterministic parallel fleet
+// generation. The (seed, i) pair is mixed through a splitmix64-style
+// finalizer (Weyl increment by the golden ratio, then two xor-multiply
+// rounds) before seeding the xoshiro state, so adjacent indices yield
+// decorrelated streams.
+func Derive(seed, i uint64) *RNG {
+	z := seed + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(z ^ 0xd1b54a32d192ed03)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the xoshiro256** stream.

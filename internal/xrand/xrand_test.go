@@ -231,3 +231,70 @@ func TestBoolProbability(t *testing.T) {
 		t.Errorf("Bool(0.3) frequency %.3f", got)
 	}
 }
+
+// TestDeriveOrderIndependent is the contract the parallel fleet generator
+// rests on: the stream for (seed, i) must not depend on when — or whether —
+// any other stream is derived.
+func TestDeriveOrderIndependent(t *testing.T) {
+	const seed, n, draws = 42, 64, 16
+
+	// Reference: derive streams in ascending index order.
+	ref := make([][]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		r := Derive(seed, i)
+		for k := 0; k < draws; k++ {
+			ref[i] = append(ref[i], r.Uint64())
+		}
+	}
+
+	// Derive in descending and in interleaved order; every stream must be
+	// identical to the reference.
+	for name, order := range map[string][]uint64{
+		"descending":  {63, 40, 32, 17, 8, 3, 0},
+		"interleaved": {1, 63, 2, 62, 31, 30, 7},
+	} {
+		for _, i := range order {
+			r := Derive(seed, i)
+			for k := 0; k < draws; k++ {
+				if got := r.Uint64(); got != ref[i][k] {
+					t.Fatalf("%s order: stream %d draw %d = %d, want %d", name, i, k, got, ref[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveStreamsDistinct checks pairwise distinctness of derived
+// streams: adjacent indices and adjacent seeds must not collide or shadow
+// one another.
+func TestDeriveStreamsDistinct(t *testing.T) {
+	const draws = 8
+	seen := map[[draws]uint64][2]uint64{}
+	for seed := uint64(0); seed < 16; seed++ {
+		for i := uint64(0); i < 64; i++ {
+			r := Derive(seed, i)
+			var sig [draws]uint64
+			for k := range sig {
+				sig[k] = r.Uint64()
+			}
+			if prev, dup := seen[sig]; dup {
+				t.Fatalf("streams (seed=%d,i=%d) and (seed=%d,i=%d) are identical",
+					seed, i, prev[0], prev[1])
+			}
+			seen[sig] = [2]uint64{seed, i}
+		}
+	}
+}
+
+// TestDeriveUniform sanity-checks that a derived stream is still uniform
+// (the splitmix finalizer must not bias the xoshiro seeding).
+func TestDeriveUniform(t *testing.T) {
+	r := Derive(7, 12345)
+	n, sum := 100000, 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Derive stream mean %.4f, want ~0.5", mean)
+	}
+}

@@ -84,9 +84,14 @@ func (c Config) fleets() *pipeline.FleetCache {
 	return pipeline.Shared
 }
 
-// generate fetches one platform's fleet through the configured cache.
+// generate fetches one platform's fleet through the configured cache. The
+// Workers knob rides along to the parallel generator; it is not part of
+// the cache key because the generated fleet is byte-identical for every
+// worker count.
 func (c Config) generate(ctx context.Context, id platform.ID) (*faultsim.Result, error) {
-	return c.fleets().Get(ctx, faultsim.Config{Platform: id, Scale: c.Scale, Seed: c.Seed})
+	return c.fleets().Get(ctx, faultsim.Config{
+		Platform: id, Scale: c.Scale, Seed: c.Seed, Workers: c.Workers,
+	})
 }
 
 // withDefaults fills zero values.
@@ -142,7 +147,7 @@ func BuildFleetCtx(ctx context.Context, cfg Config, id platform.ID) (*Fleet, err
 	if cfg.ObservationDays > 0 {
 		x.Windows.Observation = trace.Minutes(cfg.ObservationDays) * trace.Day
 	}
-	samples := features.BuildAll(x, features.DefaultSamplerConfig(), res.Store)
+	samples := features.BuildAllWorkers(x, features.DefaultSamplerConfig(), res.Store, cfg.Workers)
 	if cfg.DropErrorBitFeatures {
 		zeroErrorBitFeatures(samples)
 	}
