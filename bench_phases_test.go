@@ -2,16 +2,20 @@ package memfp
 
 // Per-phase benchmarks: where a Table II run spends its wall-clock, split
 // into the pipeline's four phases — fleet generation, feature extraction,
-// model training, and evaluation — so perf work can see which layer moved.
-// `make bench-quick` runs exactly these and records BENCH_PR2.json.
+// model training, and evaluation — plus per-model training benchmarks
+// (forest / GBDT / FTT) so perf work can see which trainer moved.
+// `make bench-quick` runs exactly these and records BENCH_PR3.json.
 
 import (
 	"context"
 	"testing"
 
+	"memfp/internal/dataset"
 	"memfp/internal/eval"
 	"memfp/internal/faultsim"
 	"memfp/internal/features"
+	"memfp/internal/ml/forest"
+	"memfp/internal/ml/ftt"
 	"memfp/internal/ml/gbdt"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
@@ -70,6 +74,56 @@ func BenchmarkPhaseTrain(b *testing.B) {
 		p.Seed = 42
 		if _, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
 			fleet.Split.Val.X, fleet.Split.Val.Y, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseTrainGBDT is BenchmarkPhaseTrain under its per-model
+// name, so the three trainers line up in BENCH_PR3.json.
+func BenchmarkPhaseTrainGBDT(b *testing.B) {
+	BenchmarkPhaseTrain(b)
+}
+
+// BenchmarkPhaseTrainForest measures Random Forest training (150 trees,
+// the §VI configuration) on the same prebuilt fleet.
+func BenchmarkPhaseTrainForest(b *testing.B) {
+	fleet, err := BuildFleet(Config{Scale: benchScale, Seed: 42}, platform.Purley)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := forest.DefaultParams()
+		p.Seed = 42
+		if _, err := forest.Fit(fleet.TrainDown.X, fleet.TrainDown.Y, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseTrainFTT measures FT-Transformer training, mirroring the
+// Table II cell setup (scaled inputs, 30k row cap, validation early
+// stopping).
+func BenchmarkPhaseTrainFTT(b *testing.B) {
+	fleet, err := BuildFleet(Config{Scale: benchScale, Seed: 42}, platform.Purley)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxFTTRows = 30000
+	fx, fy := fleet.TrainDown.X, fleet.TrainDown.Y
+	if len(fx) > maxFTTRows {
+		fx, fy = fx[:maxFTTRows], fy[:maxFTTRows]
+	}
+	scaler := dataset.FitScaler(fleet.TrainDown)
+	Xtr := scaler.Transform(fx)
+	Xval := scaler.Transform(fleet.Split.Val.X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ftt.DefaultParams()
+		p.Seed = 42
+		m := ftt.New(len(fx[0]), p)
+		if err := m.Fit(Xtr, fy, Xval, fleet.Split.Val.Y); err != nil {
 			b.Fatal(err)
 		}
 	}

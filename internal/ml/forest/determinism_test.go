@@ -1,0 +1,63 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// serialize flattens a forest to bytes for exact model comparison.
+func serialize(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tr := range m.TreesList {
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestForestOracleByteIdentical pins the histogram-subtraction refactor to
+// the legacy row-scanning trainer: same seed, byte-identical model.
+func TestForestOracleByteIdentical(t *testing.T) {
+	X, y := synth(1500, 21)
+	p := DefaultParams()
+	p.Trees = 30
+	p.Seed = 9
+	prod, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.oracle = true
+	legacy, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialize(t, prod), serialize(t, legacy)) {
+		t.Fatal("histogram-subtraction forest diverged from the row-scan oracle")
+	}
+}
+
+// TestForestWorkerCountInvariant trains at worker counts {1, 2, 8} and
+// requires byte-identical serialized models: per-tree RNG streams are
+// index-derived, so scheduling cannot leak into the output.
+func TestForestWorkerCountInvariant(t *testing.T) {
+	X, y := synth(1200, 22)
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		p := DefaultParams()
+		p.Trees = 25
+		p.Seed = 5
+		p.Workers = workers
+		m, err := Fit(X, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := serialize(t, m)
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d produced a different model", workers)
+		}
+	}
+}

@@ -1,15 +1,17 @@
 // Package forest implements a Random Forest binary classifier (§VI): an
 // ensemble of bootstrap-sampled, feature-subsampled CART trees whose
 // class-1 probabilities are averaged. Training is parallel across trees
-// and fully deterministic for a given seed.
+// and fully deterministic for a given seed: each tree's RNG stream is
+// index-derived via xrand.Derive(seed, t), so the model is byte-identical
+// at every worker count.
 package forest
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+	"sort"
 
 	"memfp/internal/ml/tree"
+	"memfp/internal/par"
 	"memfp/internal/xrand"
 )
 
@@ -21,6 +23,12 @@ type Params struct {
 	FeatureFrac float64 // per-split feature fraction (√d/d is the classic default)
 	SampleFrac  float64 // bootstrap size relative to the training set
 	Seed        uint64
+	Workers     int // tree-level parallelism (<=0 = one per CPU)
+
+	// oracle routes split finding through the legacy row-scanning path;
+	// settable only by in-package tests verifying the histogram-
+	// subtraction trainer.
+	oracle bool
 }
 
 // DefaultParams mirrors common production settings.
@@ -43,11 +51,12 @@ func Fit(X [][]float64, y []int, p Params) (*Model, error) {
 		return nil, fmt.Errorf("forest: Trees must be positive, got %d", p.Trees)
 	}
 	mapper := tree.FitBins(X, tree.MaxBins)
-	bins := mapper.BinMatrix(X)
+	cols := mapper.BinColumns(X)
 	yf := make([]float64, len(y))
 	for i, v := range y {
 		yf[i] = float64(v)
 	}
+	yq := tree.QuantizeSlice(nil, yf) // shared by every tree's histogram builder
 	n := len(X)
 	bootN := int(float64(n) * p.SampleFrac)
 	if bootN < 1 {
@@ -55,35 +64,24 @@ func Fit(X [][]float64, y []int, p Params) (*Model, error) {
 	}
 
 	m := &Model{TreesList: make([]*tree.Node, p.Trees), Dim: len(X[0])}
-	tp := tree.Params{MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, FeatureFrac: p.FeatureFrac, MinGain: 1e-7}
+	tp := tree.Params{MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, FeatureFrac: p.FeatureFrac,
+		MinGain: 1e-7, Oracle: p.oracle}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.Trees {
-		workers = p.Trees
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				// Per-tree RNG keyed by (seed, tree index): determinism
-				// does not depend on goroutine scheduling.
-				rng := xrand.New(p.Seed + uint64(t)*0x9e3779b97f4a7c15)
-				idx := make([]int, bootN)
-				for i := range idx {
-					idx[i] = rng.Intn(n)
-				}
-				m.TreesList[t] = tree.Build(bins, yf, idx, mapper, tp, rng)
-			}
-		}()
-	}
-	for t := 0; t < p.Trees; t++ {
-		next <- t
-	}
-	close(next)
-	wg.Wait()
+	// Trees already saturate the worker pool, so each tree builds its
+	// histograms serially (tp.Workers left at 0).
+	par.ForEachN(par.Workers(p.Workers), p.Trees, func(t int) {
+		// Per-tree RNG keyed by (seed, tree index): determinism does not
+		// depend on goroutine scheduling or worker count.
+		rng := xrand.Derive(p.Seed, uint64(t))
+		idx := make([]int, bootN)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		// Sorting the bootstrap makes the histogram scans walk each
+		// column in order; the draw order itself carries no meaning.
+		sort.Ints(idx)
+		m.TreesList[t] = tree.BuildShared(cols, yf, yq, idx, mapper, tp, rng)
+	})
 	return m, nil
 }
 

@@ -1,0 +1,104 @@
+package ftt
+
+import (
+	"math"
+	"testing"
+
+	"memfp/internal/xrand"
+)
+
+// noisyValSynth builds a small train set and a distribution-shifted
+// validation set so validation loss reliably degrades after the early
+// epochs — the scenario Patience exists for.
+func noisyValSynth() (X [][]float64, y []int, Xv [][]float64, yv []int) {
+	rng := xrand.New(77)
+	mk := func(n int, flip float64) ([][]float64, []int) {
+		Xs := make([][]float64, n)
+		ys := make([]int, n)
+		for i := range Xs {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			Xs[i] = []float64{a, b, rng.NormFloat64()}
+			if a-b > 0.3 {
+				ys[i] = 1
+			}
+			if rng.Bool(flip) {
+				ys[i] = 1 - ys[i]
+			}
+		}
+		return Xs, ys
+	}
+	X, y = mk(300, 0)
+	Xv, yv = mk(200, 0.25)
+	return
+}
+
+// TestFTTPatienceRestoresBestWeights is the regression test for the
+// early-stopping snapshot/restore: after Fit, the model's validation loss
+// must equal the *minimum* loss observed across epochs — the best epoch's
+// weights — not the last epoch's.
+func TestFTTPatienceRestoresBestWeights(t *testing.T) {
+	X, y, Xv, yv := noisyValSynth()
+	p := DefaultParams()
+	p.Dim = 8
+	p.Epochs = 25
+	p.Batch = 32
+	p.LR = 8e-3 // deliberately hot so late epochs wander
+	p.Patience = 3
+	p.Seed = 3
+
+	m := New(len(X[0]), p)
+	var losses []float64
+	m.epochEnd = func(epoch int, vl float64) { losses = append(losses, vl) }
+	if err := m.Fit(X, y, Xv, yv); err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) < 2 {
+		t.Fatalf("observed only %d epochs; cannot exercise restore", len(losses))
+	}
+	best := math.Inf(1)
+	bestEpoch := -1
+	for i, vl := range losses {
+		if vl < best {
+			best, bestEpoch = vl, i
+		}
+	}
+	if bestEpoch == len(losses)-1 {
+		t.Fatalf("best epoch was the last observed epoch; scenario does not exercise restore (losses %v)", losses)
+	}
+
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	posW := math.Min(10, float64(len(y)-pos)/float64(pos))
+	got := m.logloss(Xv, yv, posW)
+	if got != best {
+		t.Fatalf("restored val loss %v, want best observed %v (last %v)", got, best, losses[len(losses)-1])
+	}
+}
+
+// TestFTTFitDeterministic: same seed, same data ⇒ bitwise-identical
+// predictions, with early stopping active.
+func TestFTTFitDeterministic(t *testing.T) {
+	X, y, Xv, yv := noisyValSynth()
+	p := DefaultParams()
+	p.Dim = 8
+	p.Epochs = 8
+	p.Batch = 32
+	p.Patience = 2
+	p.Seed = 5
+
+	fit := func() []float64 {
+		m := New(len(X[0]), p)
+		if err := m.Fit(X, y, Xv, yv); err != nil {
+			t.Fatal(err)
+		}
+		return m.PredictProba(Xv)
+	}
+	a, b := fit(), fit()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs between identical fits: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -61,6 +61,10 @@ type Model struct {
 	lngF, lnbF   *tensor.Tensor // final layernorm
 	wHead, bHead *tensor.Tensor
 	params       []*tensor.Tensor
+
+	// epochEnd, when set (tests only), observes each epoch's validation
+	// loss as early stopping sees it.
+	epochEnd func(epoch int, valLoss float64)
 }
 
 // New initializes an untrained model for nf features.
@@ -221,6 +225,9 @@ func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error 
 		}
 		if len(Xval) > 0 && m.p.Patience > 0 {
 			vl := m.logloss(Xval, yval, posW)
+			if m.epochEnd != nil {
+				m.epochEnd(epoch, vl)
+			}
 			if vl < bestVal-1e-5 {
 				bestVal = vl
 				sinceBest = 0

@@ -8,8 +8,10 @@ package gbdt
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"memfp/internal/ml/tree"
+	"memfp/internal/par"
 	"memfp/internal/xrand"
 )
 
@@ -26,6 +28,12 @@ type Params struct {
 	SampleFrac   float64 // per-tree row subsample
 	EarlyStop    int     // stop after this many rounds without val improvement (0 = off)
 	Seed         uint64
+	Workers      int // feature-parallel histogram workers for large nodes (<=0 = one per CPU)
+
+	// oracle routes split finding through row-scanned (subtraction-free)
+	// histograms; settable only by in-package tests verifying the
+	// histogram-subtraction trainer.
+	oracle bool
 }
 
 // DefaultParams mirrors LightGBM's common defaults scaled to our datasets.
@@ -67,7 +75,7 @@ func Fit(X [][]float64, y []int, Xval [][]float64, yval []int, p Params) (*Model
 	}
 	n := len(X)
 	mapper := tree.FitBins(X, tree.MaxBins)
-	bins := mapper.BinMatrix(X)
+	cols := mapper.BinColumns(X)
 
 	pos := 0
 	for _, v := range y {
@@ -87,10 +95,24 @@ func Fit(X [][]float64, y []int, Xval [][]float64, yval []int, p Params) (*Model
 	for i := range valScore {
 		valScore[i] = base
 	}
+	// Bin the validation set once under the training mapper: the per-round
+	// early-stopping walk then compares uint8 bin indices instead of raw
+	// floats, landing in exactly the same leaves (bin ≡ threshold compare).
+	var valCols *tree.ColMatrix
+	if len(Xval) > 0 && p.EarlyStop > 0 {
+		valCols = mapper.BinColumns(Xval)
+	}
 
 	m := &Model{Shrink: p.LearningRate, BasePred: base, Dim: len(X[0])}
-	grad := make([]float64, n)
-	hess := make([]float64, n)
+	gq := make([]int64, n)
+	hq := make([]int64, n)
+	hb := tree.NewHistBuilder(cols, mapper, gq, hq, par.Workers(p.Workers))
+	// seen[i] == round marks rows covered by this round's leaf spans, so
+	// only out-of-sample rows pay a tree walk.
+	seen := make([]int, n)
+	for i := range seen {
+		seen[i] = -1
+	}
 	bestVal := math.Inf(1)
 	sinceBest := 0
 	bestRounds := 0
@@ -98,23 +120,36 @@ func Fit(X [][]float64, y []int, Xval [][]float64, yval []int, p Params) (*Model
 	for round := 0; round < p.Rounds; round++ {
 		for i := 0; i < n; i++ {
 			pr := sigmoid(score[i])
-			grad[i] = pr - float64(y[i])
-			hess[i] = pr * (1 - pr)
-			if hess[i] < 1e-9 {
-				hess[i] = 1e-9
+			gq[i] = tree.Quantize(pr - float64(y[i]))
+			hq[i] = tree.Quantize(pr * (1 - pr))
+			// Floor at one fixed-point unit: a saturated row's hessian
+			// must not quantize to zero, or a leaf of such rows would
+			// divide by zero when Lambda is 0.
+			if hq[i] == 0 {
+				hq[i] = 1
 			}
 		}
 		idx := sampleRows(n, p.SampleFrac, rng)
 		feats := sampleFeatures(len(X[0]), p.FeatureFrac, rng)
-		root := growTree(bins, grad, hess, idx, feats, mapper, p)
+		root, leaves := growTree(hb, idx, feats, mapper, p)
 		m.Trees = append(m.Trees, root)
+		// Sampled rows land in exactly one leaf each; scatter its value
+		// directly instead of re-walking the tree per row.
+		for _, lf := range leaves {
+			for _, i := range lf.idx {
+				score[i] += p.LearningRate * lf.val
+				seen[i] = round
+			}
+		}
 		for i := 0; i < n; i++ {
-			score[i] += p.LearningRate * root.Predict(X[i])
+			if seen[i] != round {
+				score[i] += p.LearningRate * root.PredictBinned(cols, i)
+			}
 		}
 		if len(Xval) > 0 && p.EarlyStop > 0 {
 			ll := 0.0
-			for i, xv := range Xval {
-				valScore[i] += p.LearningRate * root.Predict(xv)
+			for i := range Xval {
+				valScore[i] += p.LearningRate * root.PredictBinned(valCols, i)
 				pr := sigmoid(valScore[i])
 				if yval[i] == 1 {
 					ll -= math.Log(math.Max(pr, 1e-12))
@@ -140,6 +175,13 @@ func Fit(X [][]float64, y []int, Xval [][]float64, yval []int, p Params) (*Model
 	return m, nil
 }
 
+// sampleRows and sampleFeatures return sorted subsets: row order makes the
+// histogram scans walk each column sequentially, and feature order gives
+// ties a fixed "lowest feature index wins" semantics.
+//
+// Rows are drawn by selection sampling (Knuth's Algorithm S), which emits
+// a uniformly-random k-subset already in ascending order — no O(k log k)
+// sort per boosting round.
 func sampleRows(n int, frac float64, rng *xrand.RNG) []int {
 	if frac >= 1 {
 		idx := make([]int, n)
@@ -149,7 +191,15 @@ func sampleRows(n int, frac float64, rng *xrand.RNG) []int {
 		return idx
 	}
 	k := int(math.Max(1, math.Round(frac*float64(n))))
-	return rng.SampleWithoutReplacement(n, k)
+	idx := make([]int, 0, k)
+	remaining := k
+	for i := 0; i < n && remaining > 0; i++ {
+		if rng.Float64()*float64(n-i) < float64(remaining) {
+			idx = append(idx, i)
+			remaining--
+		}
+	}
+	return idx
 }
 
 func sampleFeatures(dim int, frac float64, rng *xrand.RNG) []int {
@@ -161,7 +211,9 @@ func sampleFeatures(dim int, frac float64, rng *xrand.RNG) []int {
 		return out
 	}
 	k := int(math.Max(1, math.Round(frac*float64(dim))))
-	return rng.SampleWithoutReplacement(dim, k)
+	feats := rng.SampleWithoutReplacement(dim, k)
+	sort.Ints(feats)
+	return feats
 }
 
 // PredictScore returns the raw log-odds for one sample.

@@ -13,15 +13,25 @@ import (
 //
 //	gain  = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)
 //	value = −G/(H+λ)
+//
+// Each leaf owns its per-feature histogram (built by the shared
+// tree.HistBuilder over fixed-point gradient/hessian sums). When a leaf
+// splits, the smaller child's histogram is built by scanning its rows and
+// the larger child's is derived by subtraction — never re-scanning the
+// larger side. With p.oracle set, both children are instead rebuilt by
+// row scans; exact int64 accumulation makes the two paths bit-identical,
+// which the oracle tests assert.
 
 // candidate is a leaf eligible for splitting.
 type candidate struct {
 	node       *tree.Node
 	idx        []int
+	hist       *tree.Hist
 	depth      int
 	gain       float64
 	feat, bin  int
-	sumG, sumH float64
+	lN         int   // left-side row count of the chosen split
+	sumG, sumH int64 // quantized totals over idx
 }
 
 // candHeap is a max-heap over split gain.
@@ -39,57 +49,117 @@ func (h *candHeap) Pop() interface{} {
 	return c
 }
 
+// leafSpan records one final leaf's training rows and value so Fit can
+// scatter predictions directly instead of re-walking the tree per row.
+type leafSpan struct {
+	idx []int
+	val float64
+}
+
+func leafValue(sumG, sumH int64, lambda float64) float64 {
+	return -tree.Dequantize(sumG) / (tree.Dequantize(sumH) + lambda)
+}
+
 // growTree builds one leaf-wise tree over the sampled rows and features.
-func growTree(bins [][]uint8, grad, hess []float64, idx, feats []int,
-	mapper *tree.BinMapper, p Params) *tree.Node {
-
-	sumG, sumH := 0.0, 0.0
+// hb carries the binned matrix and the current round's quantized
+// gradients/hessians. The returned spans cover every sampled row exactly
+// once.
+func growTree(hb *tree.HistBuilder, idx, feats []int, mapper *tree.BinMapper, p Params) (*tree.Node, []leafSpan) {
+	var sumG, sumH int64
 	for _, i := range idx {
-		sumG += grad[i]
-		sumH += hess[i]
+		sumG += hb.Gq[i]
+		sumH += hb.Hq[i]
 	}
-	root := &tree.Node{Leaf: true, Value: -sumG / (sumH + p.Lambda), N: len(idx)}
+	root := &tree.Node{Leaf: true, Value: leafValue(sumG, sumH, p.Lambda), N: len(idx)}
 
+	leaves := make([]leafSpan, 0, p.MaxLeaves)
 	h := &candHeap{}
-	if c := evalLeaf(bins, grad, hess, idx, feats, mapper, p, root, 0, sumG, sumH); c != nil {
+	if c := evalLeaf(hb, idx, feats, mapper, p, root, 0, sumG, sumH); c != nil {
 		heap.Push(h, c)
+	} else {
+		leaves = append(leaves, leafSpan{idx: idx, val: root.Value})
 	}
-	leaves := 1
-	for leaves < p.MaxLeaves && h.Len() > 0 {
+	nLeaves := 1
+	for nLeaves < p.MaxLeaves && h.Len() > 0 {
 		c := heap.Pop(h).(*candidate)
-		left, right := partition(bins, c.idx, c.feat, c.bin)
+		left, right := partition(hb.M.Cols[c.feat], c.idx, c.bin, c.lN)
 		if len(left) < p.MinLeaf || len(right) < p.MinLeaf {
+			hb.Release(c.hist)
+			leaves = append(leaves, leafSpan{idx: c.idx, val: c.node.Value})
 			continue
 		}
-		lG, lH := 0.0, 0.0
-		for _, i := range left {
-			lG += grad[i]
-			lH += hess[i]
+
+		// Child totals via the smaller side; the larger side's totals are
+		// the exact fixed-point complement.
+		var lG, lH, rG, rH int64
+		if len(left) <= len(right) {
+			for _, i := range left {
+				lG += hb.Gq[i]
+				lH += hb.Hq[i]
+			}
+			rG, rH = c.sumG-lG, c.sumH-lH
+		} else {
+			for _, i := range right {
+				rG += hb.Gq[i]
+				rH += hb.Hq[i]
+			}
+			lG, lH = c.sumG-rG, c.sumH-rH
 		}
-		rG, rH := c.sumG-lG, c.sumH-lH
+
+		// Histogram only children that could split further: scan the
+		// smaller child, derive the larger by subtraction from the parent
+		// (the oracle path rebuilds both by row scans instead).
+		needL := c.depth+1 < p.MaxDepth && len(left) >= 2*p.MinLeaf
+		needR := c.depth+1 < p.MaxDepth && len(right) >= 2*p.MinLeaf
+		var hl, hr *tree.Hist
+		if p.oracle {
+			hb.Release(c.hist)
+			if needL {
+				hl = hb.Build(left)
+			}
+			if needR {
+				hr = hb.Build(right)
+			}
+		} else {
+			hl, hr = hb.Children(c.hist, left, right, needL, needR)
+		}
 
 		c.node.Leaf = false
 		c.node.Feature = c.feat
 		c.node.Threshold = mapper.Threshold(c.feat, c.bin)
-		c.node.Left = &tree.Node{Leaf: true, Value: -lG / (lH + p.Lambda), N: len(left)}
-		c.node.Right = &tree.Node{Leaf: true, Value: -rG / (rH + p.Lambda), N: len(right)}
-		leaves++
+		c.node.Bin = uint8(c.bin)
+		c.node.Left = &tree.Node{Leaf: true, Value: leafValue(lG, lH, p.Lambda), N: len(left)}
+		c.node.Right = &tree.Node{Leaf: true, Value: leafValue(rG, rH, p.Lambda), N: len(right)}
+		nLeaves++
 
-		if c.depth+1 < p.MaxDepth {
-			if lc := evalLeaf(bins, grad, hess, left, feats, mapper, p, c.node.Left, c.depth+1, lG, lH); lc != nil {
-				heap.Push(h, lc)
+		settle := func(node *tree.Node, childIdx []int, childHist *tree.Hist, g, hh int64) {
+			if childHist != nil {
+				if cc := evalLeafHist(hb, childIdx, childHist, feats, mapper, p, node, c.depth+1, g, hh); cc != nil {
+					heap.Push(h, cc)
+					return
+				}
+				hb.Release(childHist)
 			}
-			if rc := evalLeaf(bins, grad, hess, right, feats, mapper, p, c.node.Right, c.depth+1, rG, rH); rc != nil {
-				heap.Push(h, rc)
-			}
+			leaves = append(leaves, leafSpan{idx: childIdx, val: node.Value})
 		}
+		settle(c.node.Left, left, hl, lG, lH)
+		settle(c.node.Right, right, hr, rG, rH)
 	}
-	return root
+	// Whatever is still queued when the leaf budget runs out stays a leaf.
+	for _, c := range *h {
+		hb.Release(c.hist)
+		leaves = append(leaves, leafSpan{idx: c.idx, val: c.node.Value})
+	}
+	return root, leaves
 }
 
-func partition(bins [][]uint8, idx []int, feat, bin int) (left, right []int) {
+// partition splits idx by the chosen bin cut. lN is the split's known
+// left-side count (from the histogram), sizing both halves exactly.
+func partition(col []uint8, idx []int, bin, lN int) (left, right []int) {
+	left = make([]int, 0, lN)
+	right = make([]int, 0, len(idx)-lN)
 	for _, i := range idx {
-		if bins[i][feat] <= uint8(bin) {
+		if col[i] <= uint8(bin) {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
@@ -98,44 +168,58 @@ func partition(bins [][]uint8, idx []int, feat, bin int) (left, right []int) {
 	return left, right
 }
 
-// evalLeaf finds the best split for a leaf, returning nil when no split
-// clears the constraints.
-func evalLeaf(bins [][]uint8, grad, hess []float64, idx, feats []int,
-	mapper *tree.BinMapper, p Params, node *tree.Node, depth int, sumG, sumH float64) *candidate {
+// evalLeaf builds the leaf's histogram and finds its best split,
+// returning nil (and releasing the histogram) when no split clears the
+// constraints.
+func evalLeaf(hb *tree.HistBuilder, idx, feats []int, mapper *tree.BinMapper,
+	p Params, node *tree.Node, depth int, sumG, sumH int64) *candidate {
+	if len(idx) < 2*p.MinLeaf {
+		return nil
+	}
+	hist := hb.Build(idx)
+	c := evalLeafHist(hb, idx, hist, feats, mapper, p, node, depth, sumG, sumH)
+	if c == nil {
+		hb.Release(hist)
+	}
+	return c
+}
+
+// evalLeafHist scores the best split over an already-built histogram. On
+// success the returned candidate owns hist; on failure the caller still
+// owns it. The prefix scan mirrors the legacy row-scanning evaluator's
+// iteration order and comparisons exactly, so ties break identically.
+func evalLeafHist(hb *tree.HistBuilder, idx []int, hist *tree.Hist, feats []int,
+	mapper *tree.BinMapper, p Params, node *tree.Node, depth int, sumG, sumH int64) *candidate {
 
 	if len(idx) < 2*p.MinLeaf {
 		return nil
 	}
-	parentScore := sumG * sumG / (sumH + p.Lambda)
-	var histG [tree.MaxBins + 1]float64
-	var histH [tree.MaxBins + 1]float64
-	var histN [tree.MaxBins + 1]int
+	sumGf, sumHf := tree.Dequantize(sumG), tree.Dequantize(sumH)
+	parentScore := sumGf * sumGf / (sumHf + p.Lambda)
 
-	best := &candidate{node: node, idx: idx, depth: depth, feat: -1, sumG: sumG, sumH: sumH}
+	best := &candidate{node: node, idx: idx, hist: hist, depth: depth, feat: -1, sumG: sumG, sumH: sumH}
 	for _, f := range feats {
 		nb := mapper.Bins(f)
 		if nb < 2 {
 			continue
 		}
-		for b := 0; b < nb; b++ {
-			histG[b], histH[b], histN[b] = 0, 0, 0
-		}
-		for _, i := range idx {
-			b := bins[i][f]
-			histG[b] += grad[i]
-			histH[b] += hess[i]
-			histN[b]++
-		}
-		lG, lH, lN := 0.0, 0.0, 0
+		lo, _ := hb.FeatureRange(f)
+		var lGq, lHq int64
+		lN := 0
 		for cut := 0; cut < nb-1; cut++ {
-			lG += histG[cut]
-			lH += histH[cut]
-			lN += histN[cut]
+			cell := &hist.Bins[lo+cut]
+			lGq += cell.G
+			lHq += cell.H
+			lN += int(cell.N)
 			rN := len(idx) - lN
-			if lN < p.MinLeaf || rN < p.MinLeaf {
+			if rN < p.MinLeaf {
+				break // rN only shrinks: no later cut can qualify
+			}
+			if lN < p.MinLeaf {
 				continue
 			}
-			rG, rH := sumG-lG, sumH-lH
+			lG, lH := tree.Dequantize(lGq), tree.Dequantize(lHq)
+			rG, rH := sumGf-lG, sumHf-lH
 			if lH < p.MinChildHess || rH < p.MinChildHess {
 				continue
 			}
@@ -144,6 +228,7 @@ func evalLeaf(bins [][]uint8, grad, hess []float64, idx, feats []int,
 				best.gain = gain
 				best.feat = f
 				best.bin = cut
+				best.lN = lN
 			}
 		}
 	}

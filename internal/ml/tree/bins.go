@@ -81,11 +81,20 @@ func (m *BinMapper) Bin(f int, v float64) uint8 {
 // Bins returns the number of bins for feature f.
 func (m *BinMapper) Bins(f int) int { return len(m.Edges[f]) + 1 }
 
-// Threshold returns the raw-value threshold for a split at "bin ≤ b".
+// Threshold returns the raw-value threshold for a split at "bin ≤ b",
+// clamping b into the valid edge range. A feature with no edges (a
+// constant feature) has no meaningful threshold and yields 0; split
+// finding never proposes such a feature because it has a single bin.
 func (m *BinMapper) Threshold(f int, b int) float64 {
 	edges := m.Edges[f]
+	if len(edges) == 0 {
+		return 0
+	}
 	if b >= len(edges) {
 		b = len(edges) - 1
+	}
+	if b < 0 {
+		b = 0
 	}
 	return edges[b]
 }
@@ -101,4 +110,33 @@ func (m *BinMapper) BinMatrix(X [][]float64) [][]uint8 {
 		out[i] = row
 	}
 	return out
+}
+
+// ColMatrix is the column-major binned training matrix: Cols[f][i] is the
+// bin of row i's feature f. Split finding scans one feature across many
+// rows, so the column layout turns the hot loop into a sequential walk
+// over a contiguous []uint8 instead of a strided pointer chase through
+// per-row slices.
+type ColMatrix struct {
+	NRows int
+	Cols  [][]uint8
+}
+
+// BinColumns converts a raw matrix to column-major binned form. The
+// columns are backed by one contiguous allocation.
+func (m *BinMapper) BinColumns(X [][]float64) *ColMatrix {
+	if len(X) == 0 {
+		return &ColMatrix{}
+	}
+	dim := len(X[0])
+	backing := make([]uint8, dim*len(X))
+	cols := make([][]uint8, dim)
+	for f := 0; f < dim; f++ {
+		col := backing[f*len(X) : (f+1)*len(X) : (f+1)*len(X)]
+		for i, x := range X {
+			col[i] = m.Bin(f, x[f])
+		}
+		cols[f] = col
+	}
+	return &ColMatrix{NRows: len(X), Cols: cols}
 }

@@ -85,7 +85,7 @@ func TestCARTSeparatesXORFree(t *testing.T) {
 		idx[i] = i
 	}
 	m := FitBins(X, 255)
-	root := Build(m.BinMatrix(X), y, idx, m, DefaultParams(), nil)
+	root := Build(m.BinColumns(X), y, idx, m, DefaultParams(), nil)
 	correct := 0
 	for i := range X {
 		pred := 0.0
@@ -117,7 +117,7 @@ func TestCARTLearnsInteraction(t *testing.T) {
 		idx[i] = i
 	}
 	m := FitBins(X, 255)
-	root := Build(m.BinMatrix(X), y, idx, m, DefaultParams(), nil)
+	root := Build(m.BinColumns(X), y, idx, m, DefaultParams(), nil)
 	correct := 0
 	for i := range X {
 		pred := 0.0
@@ -147,7 +147,7 @@ func TestCARTRespectsMaxDepth(t *testing.T) {
 	m := FitBins(X, 255)
 	p := DefaultParams()
 	p.MaxDepth = 3
-	root := Build(m.BinMatrix(X), y, idx, m, p, nil)
+	root := Build(m.BinColumns(X), y, idx, m, p, nil)
 	if d := root.Depth(); d > 3 {
 		t.Errorf("depth %d exceeds limit 3", d)
 	}
@@ -167,7 +167,7 @@ func TestCARTMinLeaf(t *testing.T) {
 	m := FitBins(X, 255)
 	p := DefaultParams()
 	p.MinLeaf = 50
-	root := Build(m.BinMatrix(X), y, idx, m, p, nil)
+	root := Build(m.BinColumns(X), y, idx, m, p, nil)
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n.Leaf {
@@ -186,7 +186,7 @@ func TestCARTPureLeaf(t *testing.T) {
 	X := [][]float64{{1}, {2}, {3}, {4}}
 	y := []float64{1, 1, 1, 1}
 	m := FitBins(X, 255)
-	root := Build(m.BinMatrix(X), y, []int{0, 1, 2, 3}, m, DefaultParams(), nil)
+	root := Build(m.BinColumns(X), y, []int{0, 1, 2, 3}, m, DefaultParams(), nil)
 	if !root.Leaf || root.Value != 1 {
 		t.Errorf("pure targets should yield a single leaf with value 1, got %+v", root)
 	}
@@ -195,7 +195,7 @@ func TestCARTPureLeaf(t *testing.T) {
 func TestCARTEmptyIndex(t *testing.T) {
 	X := [][]float64{{1}}
 	m := FitBins(X, 255)
-	root := Build(m.BinMatrix(X), []float64{0}, nil, m, DefaultParams(), nil)
+	root := Build(m.BinColumns(X), []float64{0}, nil, m, DefaultParams(), nil)
 	if !root.Leaf {
 		t.Error("empty index should produce a leaf")
 	}
@@ -216,7 +216,7 @@ func TestLeavesAndWalkFeatures(t *testing.T) {
 		idx[i] = i
 	}
 	m := FitBins(X, 255)
-	root := Build(m.BinMatrix(X), y, idx, m, DefaultParams(), nil)
+	root := Build(m.BinColumns(X), y, idx, m, DefaultParams(), nil)
 	counts := make([]int, 2)
 	root.WalkFeatures(counts)
 	if counts[0] == 0 {
