@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race fuzz-short ci
+.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race fuzz-short examples-smoke ci
 
 all: build
 
@@ -32,44 +32,56 @@ bench:
 bench-cache:
 	$(GO) test -run '^$$' -bench BenchmarkTableIIFleetCache -benchtime 2x -timeout 30m .
 
-# Per-phase benchmarks (generate / extract / train / eval) plus the
-# per-model training benchmarks (forest / GBDT / FTT) at the benchmark
-# scale (0.02), recorded as BENCH_PR3.json so the perf trajectory stays
-# machine-readable. BENCH_PR2.json is the previous PR's snapshot — keep it
-# for comparison.
+# Per-phase benchmarks (generate / extract / train / eval), per-model
+# training benchmarks (forest / GBDT / FTT), and per-algorithm artifact
+# benchmarks (envelope marshal / unmarshal / ScoreBatch throughput from
+# the predictor registry), recorded as BENCH_PR4.json so the perf
+# trajectory stays machine-readable. BENCH_PR2/3.json are earlier PRs'
+# snapshots — keep them for comparison.
 # The sub-second phases run 5 iterations for stable numbers; the
 # FT-Transformer fit (~a minute per iteration) runs once. TrainGBDT is an
 # alias of Train (same body), so the JSON entry is derived from the one
 # measurement rather than fitting the booster twice.
 bench-quick:
 	$(GO) test -run '^$$' -bench '^BenchmarkPhase(Generate|GenerateSequential|Extract|Train|TrainForest|Eval)$$' \
-		-benchtime 5x -timeout 30m . > BENCH_PR3.txt
+		-benchtime 5x -timeout 30m . > BENCH_PR4.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkPhaseTrainFTT$$' -benchtime 1x -timeout 30m . \
-		>> BENCH_PR3.txt
-	cat BENCH_PR3.txt
+		>> BENCH_PR4.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkModel(Marshal|Unmarshal|ScoreBatch)$$' \
+		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR4.txt
+	cat BENCH_PR4.txt
 	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"benchmarks\": {" ; n=0 } \
-		/^BenchmarkPhase/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+		/^Benchmark(Phase|Model)/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
 			for (i=2; i<=NF; i++) if ($$(i) == "ns/op") { \
 				if (n++) printf ","; \
-				printf "\n    \"%s\": { \"seconds\": %.3f }", name, $$(i-1)/1e9; \
+				printf "\n    \"%s\": { \"seconds\": %.6f }", name, $$(i-1)/1e9; \
 				if (name == "BenchmarkPhaseTrain") \
-					printf ",\n    \"%sGBDT\": { \"seconds\": %.3f }", name, $$(i-1)/1e9 } } \
-		END { print "\n  }\n}" }' BENCH_PR3.txt > BENCH_PR3.json
-	@rm -f BENCH_PR3.txt
-	@echo "wrote BENCH_PR3.json"
+					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, $$(i-1)/1e9 } } \
+		END { print "\n  }\n}" }' BENCH_PR4.txt > BENCH_PR4.json
+	@rm -f BENCH_PR4.txt
+	@echo "wrote BENCH_PR4.json"
 
 # Race-detector pass over the concurrency-bearing packages: the worker
 # pool, the parallel fleet generator, the indexed trace store, sharded
-# feature extraction, the fleet cache / experiment pipeline, and the
-# parallel model trainers (tree histograms, forest, GBDT).
+# feature extraction, the fleet cache / experiment pipeline, the parallel
+# model trainers (tree histograms, forest, GBDT), the predictor registry,
+# and the mlops registry's lazy scorer rehydration.
 test-race:
 	$(GO) test -race -timeout 20m ./internal/par/ ./internal/faultsim/ \
 		./internal/trace/ ./internal/features/ ./internal/pipeline/ \
-		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/gbdt/
+		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/gbdt/ \
+		./internal/ml/model/ ./internal/mlops/
 
 # Short fuzz pass over the bin mapper (the substrate every tree model
 # bins through); part of ci so regressions in edge handling surface early.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzBinMapper$$' -fuzztime 15s ./internal/ml/tree/
 
-ci: build vet fmt test-race fuzz-short test
+# Build-and-run smoke over the examples at tiny scale: the quickstart
+# (fleet → train → evaluate) and the mlops walkthrough (train → gate →
+# serve → persist). Scales/seeds chosen so both carry training positives.
+examples-smoke:
+	$(GO) run ./examples/quickstart -scale 0.02 -seed 7 > /dev/null
+	$(GO) run ./examples/mlops -platform Intel_Purley -scale 0.03 -seed 31 > /dev/null
+
+ci: build vet fmt test-race fuzz-short examples-smoke test

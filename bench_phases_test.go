@@ -103,27 +103,22 @@ func BenchmarkPhaseTrainForest(b *testing.B) {
 }
 
 // BenchmarkPhaseTrainFTT measures FT-Transformer training, mirroring the
-// Table II cell setup (scaled inputs, 30k row cap, validation early
-// stopping).
+// Table II cell setup (scaled inputs, the ftt.Params row cap, validation
+// early stopping).
 func BenchmarkPhaseTrainFTT(b *testing.B) {
 	fleet, err := BuildFleet(Config{Scale: benchScale, Seed: 42}, platform.Purley)
 	if err != nil {
 		b.Fatal(err)
 	}
-	const maxFTTRows = 30000
-	fx, fy := fleet.TrainDown.X, fleet.TrainDown.Y
-	if len(fx) > maxFTTRows {
-		fx, fy = fx[:maxFTTRows], fy[:maxFTTRows]
-	}
 	scaler := dataset.FitScaler(fleet.TrainDown)
-	Xtr := scaler.Transform(fx)
+	Xtr := scaler.Transform(fleet.TrainDown.X)
 	Xval := scaler.Transform(fleet.Split.Val.X)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := ftt.DefaultParams()
+		p := ftt.DefaultParams() // MaxRows caps the training rows
 		p.Seed = 42
-		m := ftt.New(len(fx[0]), p)
-		if err := m.Fit(Xtr, fy, Xval, fleet.Split.Val.Y); err != nil {
+		m := ftt.New(len(Xtr[0]), p)
+		if err := m.Fit(Xtr, fleet.TrainDown.Y, Xval, fleet.Split.Val.Y); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"memfp"
 	"memfp/internal/analysis"
 	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
 	"memfp/internal/mlops"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
@@ -88,12 +90,43 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
+// cmdAlgos lists the predictor registry: every trainer that appears in
+// Table II, `train -algo`, the transfer matrix, and the MLOps loop.
+func cmdAlgos(args []string) error {
+	fs := flag.NewFlagSet("algos", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %s\n", "algorithm", "platforms")
+	for _, t := range model.All() {
+		var pfs []string
+		for _, id := range platform.All() {
+			if t.Applicable(id) {
+				pfs = append(pfs, string(id))
+			}
+		}
+		fmt.Printf("%-22s %s\n", t.Name(), strings.Join(pfs, ", "))
+	}
+	return nil
+}
+
+// resolveAlgo accepts a registry name (exact or case-insensitive) or a
+// legacy shorthand, shared with every other entry point via
+// model.Resolve.
+func resolveAlgo(s string) (string, error) {
+	t, err := model.Resolve(s)
+	if err != nil {
+		return "", err
+	}
+	return t.Name(), nil
+}
+
 // cmdTrain trains one algorithm on one platform and reports metrics.
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	scale, seed := commonFlags(fs)
 	pf := fs.String("platform", string(platform.Purley), "platform ID")
-	algo := fs.String("algo", "lightgbm", "algorithm: riskyce|forest|lightgbm|ftt")
+	algo := fs.String("algo", "lightgbm", `algorithm registry name (see "memfp algos") or legacy shorthand`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,19 +134,11 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	var a memfp.Algo
-	switch *algo {
-	case "riskyce":
-		a = memfp.AlgoRiskyCE
-	case "forest":
-		a = memfp.AlgoForest
-	case "lightgbm":
-		a = memfp.AlgoGBDT
-	case "ftt":
-		a = memfp.AlgoFTT
-	default:
-		return fmt.Errorf("train: unknown algorithm %q", *algo)
+	name, err := resolveAlgo(*algo)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
 	}
+	a := memfp.Algo(name)
 	cfg := memfp.Config{Scale: *scale, Seed: *seed}
 	fleet, err := memfp.BuildFleet(cfg, id)
 	if err != nil {
@@ -139,6 +164,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	scale, seed := commonFlags(fs)
 	pf := fs.String("platform", string(platform.Purley), "platform ID")
+	trainer := fs.String("trainer", model.NameGBDT, "registry trainer the mlops loop ships")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,19 +172,24 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, *scale, *seed)
+	name, err := resolveAlgo(*trainer)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, name, *scale, *seed)
 }
 
 // runServe is the serve flow against an explicit writer and cache, so the
 // fig6 scenario can honor its Env contract.
 func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
-	id platform.ID, scale float64, seed uint64) error {
+	id platform.ID, trainer string, scale float64, seed uint64) error {
 	res, err := cache.Get(ctx, faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
 		return err
 	}
 	pipe := mlops.NewPipeline(id)
 	pipe.Seed = seed
+	pipe.TrainerName = trainer
 	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
 	if err != nil {
 		return err

@@ -7,8 +7,9 @@
 //	memfp repro  [-exp all|table1|fig2|fig3|fig4|fig5|table2|fig6] [-scale 0.25] [-seed 42]
 //	memfp generate -platform Intel_Purley [-scale 0.1] [-out fleet.log]
 //	memfp analyze  -in fleet.log
+//	memfp algos
 //	memfp train    -platform Intel_Purley [-algo lightgbm] [-scale 0.1]
-//	memfp serve    -platform Intel_Purley [-scale 0.05]
+//	memfp serve    -platform Intel_Purley [-scale 0.05] [-trainer LightGBM]
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "algos":
+		err = cmdAlgos(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "serve":
@@ -56,6 +59,7 @@ commands:
   repro     regenerate the paper's tables and figures
   generate  simulate one platform fleet and write BMC-style logs
   analyze   run fault analysis over a log file
+  algos     list the registered prediction algorithms
   train     train and evaluate one algorithm on one platform
   serve     run the MLOps online-prediction demo
   diag      print split statistics and score quality for one platform

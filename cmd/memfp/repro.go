@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"memfp/internal/ml/model"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 )
@@ -25,7 +26,7 @@ func init() {
 			if out == nil {
 				out = io.Discard
 			}
-			return runServe(ctx, out, env.Fleets(), platform.Purley, env.Scale*0.4, env.Seed)
+			return runServe(ctx, out, env.Fleets(), platform.Purley, model.NameGBDT, env.Scale*0.4, env.Seed)
 		},
 	})
 }

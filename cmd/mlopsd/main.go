@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
 	"memfp/internal/mlops"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
@@ -26,17 +27,28 @@ func main() {
 	pf := flag.String("platform", string(platform.Purley), "platform ID")
 	scale := flag.Float64("scale", 0.05, "fleet scale")
 	seed := flag.Uint64("seed", 42, "seed")
+	trainer := flag.String("trainer", model.NameGBDT, "registry trainer the service ships")
 	flag.Parse()
-	if err := run(platform.ID(*pf), *scale, *seed); err != nil {
+	if err := run(platform.ID(*pf), *trainer, *scale, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "mlopsd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(id platform.ID, scale float64, seed uint64) error {
+func run(id platform.ID, trainer string, scale float64, seed uint64) error {
 	if _, err := platform.Get(id); err != nil {
 		return err
 	}
+	// Resolve the trainer before paying for fleet generation; this also
+	// accepts the CLI shorthands (lightgbm, ftt, ...).
+	resolved, err := model.Resolve(trainer)
+	if err != nil {
+		return err
+	}
+	if !resolved.Applicable(id) {
+		return fmt.Errorf("mlopsd: trainer %q is not applicable on %s", resolved.Name(), id)
+	}
+	trainer = resolved.Name()
 	res, err := pipeline.Generate(context.Background(),
 		faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
@@ -70,6 +82,7 @@ func run(id platform.ID, scale float64, seed uint64) error {
 
 	pipe := mlops.NewPipeline(id)
 	pipe.Seed = seed
+	pipe.TrainerName = trainer
 
 	// Bootstrap: train on the first five months.
 	bootEnd := 150 * trace.Day

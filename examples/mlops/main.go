@@ -1,15 +1,21 @@
 // Mlops walks the paper's Figure 6 framework end to end on one platform:
 // batch training through the feature store, CI/CD-gated promotion into the
 // model registry, online prediction over a replayed event stream, alarm
-// feedback, drift monitoring, and a gated retraining cycle.
+// feedback, drift monitoring, a gated retraining cycle, and registry
+// persistence (serialized model artifacts surviving a save/load
+// round-trip). The -trainer flag ships any registered algorithm through
+// the same loop.
 package main
 
 import (
+	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
 	"memfp/internal/mlops"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
@@ -17,13 +23,23 @@ import (
 )
 
 func main() {
+	pf := flag.String("platform", string(platform.K920), "platform ID")
+	scale := flag.Float64("scale", 0.08, "fleet scale")
+	seed := flag.Uint64("seed", 21, "seed")
+	trainer := flag.String("trainer", model.NameGBDT, "registry trainer to ship")
+	flag.Parse()
+	id := platform.ID(*pf)
+	if _, err := platform.Get(id); err != nil {
+		log.Fatal(err)
+	}
 	res, err := pipeline.Generate(context.Background(),
-		faultsim.Config{Platform: platform.K920, Scale: 0.08, Seed: 21})
+		faultsim.Config{Platform: id, Scale: *scale, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe := mlops.NewPipeline(platform.K920)
-	pipe.Seed = 21
+	pipe := mlops.NewPipeline(id)
+	pipe.Seed = *seed
+	pipe.TrainerName = *trainer
 
 	// Feature store catalog, as Data Scientists would browse it.
 	fs := pipe.Features
@@ -77,6 +93,25 @@ func main() {
 	}
 	fmt.Printf("cycle 2: v%d promoted=%v (%s)\n", tr2.Version.Version, tr2.Promoted, tr2.Reason)
 	for _, v := range pipe.Registry.List() {
-		fmt.Printf("registry: %s v%d stage=%s F1=%.2f\n", v.Name, v.Version, v.Stage, v.Metrics.F1)
+		fmt.Printf("registry: %s v%d [%s] stage=%s F1=%.2f\n",
+			v.Name, v.Version, v.Algorithm, v.Stage, v.Metrics.F1)
 	}
+
+	// Persistence: the registry serializes its model artifacts, so a
+	// fresh process (here: a fresh Registry value) serves the same
+	// production model at the same threshold.
+	var buf bytes.Buffer
+	if err := pipe.Registry.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := mlops.LoadRegistry(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, err := reloaded.Production(pipe.ModelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded registry: production %s v%d [%s] threshold=%.2f survives the round-trip\n",
+		prod.Name, prod.Version, prod.Algorithm, prod.Threshold)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -15,7 +16,10 @@ import (
 )
 
 func main() {
-	cfg := memfp.Config{Scale: 0.05, Seed: 7}
+	scale := flag.Float64("scale", 0.05, "fleet scale")
+	seed := flag.Uint64("seed", 7, "seed")
+	flag.Parse()
+	cfg := memfp.Config{Scale: *scale, Seed: *seed}
 
 	// 1. Generate a fleet (the stand-in for production BMC logs) and
 	//    build labeled samples with the §IV windows.

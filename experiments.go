@@ -7,13 +7,9 @@ import (
 	"strings"
 
 	"memfp/internal/analysis"
-	"memfp/internal/baseline"
-	"memfp/internal/dataset"
 	"memfp/internal/eval"
 	"memfp/internal/features"
-	"memfp/internal/ml/forest"
-	"memfp/internal/ml/ftt"
-	"memfp/internal/ml/gbdt"
+	"memfp/internal/ml/model"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
@@ -200,6 +196,10 @@ func EvaluateAlgo(cfg Config, fleet *Fleet, a Algo) (Cell, error) {
 // cell's phases (before training and before each scoring pass) — model
 // fitting itself runs to completion, so cancellation latency is bounded
 // by the longest single fit, not the whole cell.
+//
+// The algorithm comes from the predictor registry: any trainer
+// registered with internal/ml/model evaluates here (and therefore in
+// Table II) with no changes to this function.
 func EvaluateAlgoCtx(ctx context.Context, cfg Config, fleet *Fleet, a Algo) (Cell, error) {
 	cfg = cfg.withDefaults()
 	vp := eval.DefaultVIRRParams()
@@ -209,93 +209,49 @@ func EvaluateAlgoCtx(ctx context.Context, cfg Config, fleet *Fleet, a Algo) (Cel
 		TrainPositives: fleet.TrainDown.Positives(),
 	}
 
-	if a == AlgoRiskyCE {
-		pred := baseline.New()
-		if !pred.Applicable(fleet.Platform.ID) {
-			cell.Applicable = false
-			return cell, nil
-		}
-		test := fleet.Split.Test
-		scores := make([]float64, test.Len())
-		for i := range scores {
-			scores[i] = pred.Score(fleet.Result.Store.Get(test.DIMMs[i]), test.Times[i])
-		}
-		ds := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, scores, test.Y, 30*trace.Day)
-		cell.Metrics = eval.Compute(eval.ConfusionAt(ds, 0.5), vp)
+	trainer, ok := model.Get(string(a))
+	if !ok {
+		return cell, fmt.Errorf("unknown algorithm %q (registered: %v)", a, model.Names())
+	}
+	if !trainer.Applicable(fleet.Platform.ID) {
+		cell.Applicable = false
+		return cell, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return cell, err
+	}
+	m, err := trainer.Fit(ctx, fleet.TrainSet(cfg))
+	if err != nil {
+		return cell, err
+	}
+	if err := ctx.Err(); err != nil {
+		return cell, err
+	}
+
+	test := fleet.Split.Test
+	testScores := m.ScoreBatch(fleet.batch(test))
+
+	// Models emitting calibrated decisions (the rule baseline) carry
+	// their own threshold; everything else tunes one on validation.
+	if ft, ok := m.(model.FixedThresholder); ok {
+		ds := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, testScores, test.Y, 30*trace.Day)
+		cell.Metrics = eval.Compute(eval.ConfusionAt(ds, ft.FixedThreshold()), vp)
 		return cell, nil
 	}
 
-	train := fleet.TrainDown
-	if train.Positives() == 0 {
-		return cell, fmt.Errorf("no positive training samples (scale too small)")
-	}
-	if err := ctx.Err(); err != nil {
-		return cell, err
-	}
-	var scoreFn func(X [][]float64) []float64
-	switch a {
-	case AlgoForest:
-		p := forest.DefaultParams()
-		p.Seed = cfg.Seed
-		m, err := forest.Fit(train.X, train.Y, p)
-		if err != nil {
-			return cell, err
-		}
-		scoreFn = m.PredictBatch
-	case AlgoGBDT:
-		p := gbdt.DefaultParams()
-		p.Seed = cfg.Seed
-		m, err := gbdt.Fit(train.X, train.Y, fleet.Split.Val.X, fleet.Split.Val.Y, p)
-		if err != nil {
-			return cell, err
-		}
-		scoreFn = m.PredictBatch
-	case AlgoFTT:
-		// Cap the transformer's training set: pure-Go attention is the
-		// pipeline's cost center, and the curve flattens well before
-		// this size. The set is already shuffled, so truncation is an
-		// unbiased subsample.
-		const maxFTTRows = 30000
-		fx, fy := train.X, train.Y
-		if len(fx) > maxFTTRows {
-			fx, fy = fx[:maxFTTRows], fy[:maxFTTRows]
-		}
-		scaler := dataset.FitScaler(train)
-		p := ftt.DefaultParams()
-		p.Seed = cfg.Seed
-		m := ftt.New(len(train.X[0]), p)
-		if err := m.Fit(scaler.Transform(fx), fy,
-			scaler.Transform(fleet.Split.Val.X), fleet.Split.Val.Y); err != nil {
-			return cell, err
-		}
-		scoreFn = func(X [][]float64) []float64 { return m.PredictProba(scaler.Transform(X)) }
-	default:
-		return cell, fmt.Errorf("unknown algorithm %q", a)
-	}
-
-	if err := ctx.Err(); err != nil {
-		return cell, err
-	}
 	val := fleet.Split.Val
-	valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times, scoreFn(val.X), val.Y, 30*trace.Day)
-
-	test := fleet.Split.Test
-	testDS := eval.AggregateByDIMMWindow(test.DIMMs, test.Times, scoreFn(test.X), test.Y, 30*trace.Day)
-
-	// Base positive-unit rate from pre-deployment labels (train + val).
 	tr := fleet.Split.Train
-	trainDS := eval.AggregateByDIMMWindow(tr.DIMMs, tr.Times, make([]float64, tr.Len()), tr.Y, 30*trace.Day)
-	baseRate := eval.PositiveUnitRate(append(trainDS, valDS...))
-	testScores := make([]float64, len(testDS))
-	for i, d := range testDS {
-		testScores[i] = d.Score
-	}
-	th := eval.TuneThreshold(valDS, vp, 20, 1.6, baseRate, testScores)
-	cell.Metrics = eval.Compute(eval.ConfusionAt(testDS, th), vp)
+	cell.Metrics = eval.EvaluateWindowed(
+		eval.Series{DIMMs: tr.DIMMs, Times: tr.Times, Y: tr.Y},
+		eval.Series{DIMMs: val.DIMMs, Times: val.Times, Scores: m.ScoreBatch(fleet.batch(val)), Y: val.Y},
+		eval.Series{DIMMs: test.DIMMs, Times: test.Times, Scores: testScores, Y: test.Y},
+		eval.DefaultWindowedConfig(), vp)
 	return cell, nil
 }
 
-// Format renders the comparison like the paper's Table II.
+// Format renders the comparison like the paper's Table II. The label
+// column stretches to the longest registered algorithm name, so registry
+// extensions stay aligned.
 func (t *TableII) Format() string {
 	var sb strings.Builder
 	ids := make([]platform.ID, 0, len(t.Cells))
@@ -304,18 +260,24 @@ func (t *TableII) Format() string {
 			ids = append(ids, id)
 		}
 	}
-	fmt.Fprintf(&sb, "%-18s", "Algorithm")
+	width := 18
+	for _, a := range Algos() {
+		if len(a) >= width {
+			width = len(a) + 1
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", width, "Algorithm")
 	for _, id := range ids {
 		fmt.Fprintf(&sb, " | %-27s", id)
 	}
 	sb.WriteByte('\n')
-	fmt.Fprintf(&sb, "%-18s", "")
+	fmt.Fprintf(&sb, "%-*s", width, "")
 	for range ids {
 		fmt.Fprintf(&sb, " | %5s %5s %5s %5s  ", "P", "R", "F1", "VIRR")
 	}
 	sb.WriteByte('\n')
 	for _, a := range Algos() {
-		fmt.Fprintf(&sb, "%-18s", a)
+		fmt.Fprintf(&sb, "%-*s", width, a)
 		for _, id := range ids {
 			c := t.Cells[id][a]
 			if !c.Applicable {

@@ -141,22 +141,26 @@ type Scaler struct {
 }
 
 // FitScaler computes per-feature mean and standard deviation.
-func FitScaler(d *Dataset) *Scaler {
-	if d.Len() == 0 {
+func FitScaler(d *Dataset) *Scaler { return FitScalerX(d.X) }
+
+// FitScalerX is FitScaler over a raw design matrix (for callers holding
+// features without Dataset provenance, e.g. model trainers).
+func FitScalerX(X [][]float64) *Scaler {
+	if len(X) == 0 {
 		return &Scaler{}
 	}
-	dim := len(d.X[0])
+	dim := len(X[0])
 	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
-	for _, x := range d.X {
+	for _, x := range X {
 		for j, v := range x {
 			s.Mean[j] += v
 		}
 	}
-	n := float64(d.Len())
+	n := float64(len(X))
 	for j := range s.Mean {
 		s.Mean[j] /= n
 	}
-	for _, x := range d.X {
+	for _, x := range X {
 		for j, v := range x {
 			dv := v - s.Mean[j]
 			s.Std[j] += dv * dv

@@ -27,6 +27,11 @@ type Params struct {
 	Patience    int     // early-stop patience on validation loss (0 = off)
 	Seed        uint64
 	WeightDecay float64
+	// MaxRows caps the training set Fit consumes (0 = no cap): pure-Go
+	// attention is the pipeline's cost center and the learning curve
+	// flattens well before the default cap. Fit keeps the row *prefix*,
+	// so on a pre-shuffled set the cap is an unbiased subsample.
+	MaxRows int
 }
 
 // DefaultParams returns the compact configuration used in the experiments
@@ -36,6 +41,7 @@ func DefaultParams() Params {
 		Dim: 16, Heads: 2, Layers: 2, FFNMult: 2,
 		Epochs: 15, Batch: 256, LR: 2e-3,
 		Patience: 4, Seed: 1, WeightDecay: 1e-5,
+		MaxRows: 30000,
 	}
 }
 
@@ -181,6 +187,11 @@ func (m *Model) forward(X [][]float64) *tensor.Tensor {
 func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error {
 	if len(X) == 0 || len(X) != len(y) {
 		return fmt.Errorf("ftt: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	if m.p.MaxRows > 0 && len(X) > m.p.MaxRows {
+		// Prefix truncation: callers hand Fit a pre-shuffled set, so the
+		// prefix is an unbiased subsample of it.
+		X, y = X[:m.p.MaxRows], y[:m.p.MaxRows]
 	}
 	pos := 0
 	for _, v := range y {

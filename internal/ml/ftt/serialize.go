@@ -1,0 +1,55 @@
+package ftt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the on-disk form of a trained FT-Transformer: the
+// configuration needed to rebuild the parameter graph plus every
+// parameter tensor's data, in construction order. Rebuilding through
+// New() and copying data back reproduces the forward pass exactly.
+type modelJSON struct {
+	Format  string      `json:"format"`
+	NF      int         `json:"nf"`
+	Params  Params      `json:"params"`
+	Tensors [][]float64 `json:"tensors"`
+}
+
+const formatName = "memfp-ftt-v1"
+
+// Encode writes the model as JSON.
+func (m *Model) Encode(w io.Writer) error {
+	out := modelJSON{Format: formatName, NF: m.nf, Params: m.p}
+	for _, p := range m.params {
+		out.Tensors = append(out.Tensors, p.Data)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Decode loads a model written by Encode.
+func Decode(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ftt: decode: %w", err)
+	}
+	if in.Format != formatName {
+		return nil, fmt.Errorf("ftt: unknown model format %q", in.Format)
+	}
+	p := in.Params
+	if in.NF <= 0 || p.Dim <= 0 || p.Heads <= 0 || p.Layers < 0 || p.FFNMult <= 0 || p.Dim%p.Heads != 0 {
+		return nil, fmt.Errorf("ftt: invalid serialized configuration (nf=%d dim=%d heads=%d)", in.NF, p.Dim, p.Heads)
+	}
+	m := New(in.NF, p)
+	if len(in.Tensors) != len(m.params) {
+		return nil, fmt.Errorf("ftt: serialized model has %d tensors, configuration needs %d", len(in.Tensors), len(m.params))
+	}
+	for i, data := range in.Tensors {
+		if len(data) != len(m.params[i].Data) {
+			return nil, fmt.Errorf("ftt: tensor %d has %d values, want %d", i, len(data), len(m.params[i].Data))
+		}
+		copy(m.params[i].Data, data)
+	}
+	return m, nil
+}

@@ -1,0 +1,98 @@
+package model
+
+// Per-algorithm artifact benchmarks: envelope marshal, unmarshal, and
+// batch-scoring throughput for every registered trainer. `make
+// bench-quick` records these into BENCH_PR4.json so the serialization
+// and serving costs of each algorithm stay machine-readable.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchModels lazily fits one model per registered trainer on a shared
+// synthetic problem (fitting is benchmarked elsewhere; these benchmarks
+// measure the artifact life cycle).
+var benchModels struct {
+	once   sync.Once
+	models map[string]Model
+	blobs  map[string][]byte
+	batch  Batch
+	err    error
+}
+
+func benchSetup(b *testing.B) (map[string]Model, map[string][]byte, Batch) {
+	b.Helper()
+	benchModels.once.Do(func() {
+		ts := synthTrainSet(600, 12, 41)
+		probe := synthTrainSet(2000, 12, 42)
+		benchModels.models = map[string]Model{}
+		benchModels.blobs = map[string][]byte{}
+		benchModels.batch = Batch{X: probe.X}
+		for _, tr := range All() {
+			m, err := tr.Fit(context.Background(), ts)
+			if err != nil {
+				benchModels.err = fmt.Errorf("%s: %w", tr.Name(), err)
+				return
+			}
+			blob, err := m.MarshalBinary()
+			if err != nil {
+				benchModels.err = fmt.Errorf("%s: %w", tr.Name(), err)
+				return
+			}
+			benchModels.models[tr.Name()] = m
+			benchModels.blobs[tr.Name()] = blob
+		}
+	})
+	if benchModels.err != nil {
+		b.Fatal(benchModels.err)
+	}
+	return benchModels.models, benchModels.blobs, benchModels.batch
+}
+
+func BenchmarkModelMarshal(b *testing.B) {
+	models, _, _ := benchSetup(b)
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			m := models[name]
+			for i := 0; i < b.N; i++ {
+				blob, err := m.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(blob)))
+			}
+		})
+	}
+}
+
+func BenchmarkModelUnmarshal(b *testing.B) {
+	_, blobs, _ := benchSetup(b)
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			blob := blobs[name]
+			b.SetBytes(int64(len(blob)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Load(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkModelScoreBatch(b *testing.B) {
+	models, _, batch := benchSetup(b)
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			m := models[name]
+			for i := 0; i < b.N; i++ {
+				m.ScoreBatch(batch)
+			}
+			rows := float64(batch.Len()) * float64(b.N)
+			b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

@@ -1,12 +1,13 @@
 package mlops
 
 import (
+	"context"
 	"fmt"
 
 	"memfp/internal/dataset"
 	"memfp/internal/eval"
 	"memfp/internal/features"
-	"memfp/internal/ml/gbdt"
+	"memfp/internal/ml/model"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 	"memfp/internal/xrand"
@@ -23,13 +24,15 @@ type Pipeline struct {
 	Gate     PromotionGate
 	// ModelName is the registry key for this platform's predictor.
 	ModelName string
-	// Training hyperparameters.
-	GBDTParams    gbdt.Params
+	// TrainerName selects the predictor from the model registry; the
+	// mlops loop ships whichever registered algorithm it names.
+	TrainerName   string
 	NegativeRatio float64
 	Seed          uint64
 }
 
-// NewPipeline assembles a pipeline with defaults.
+// NewPipeline assembles a pipeline with defaults (LightGBM, the paper's
+// best performer, as the trainer).
 func NewPipeline(pf platform.ID) *Pipeline {
 	return &Pipeline{
 		Platform:      pf,
@@ -38,7 +41,7 @@ func NewPipeline(pf platform.ID) *Pipeline {
 		Monitor:       NewMonitor(),
 		Gate:          DefaultGate(),
 		ModelName:     fmt.Sprintf("memfp-%s", pf),
-		GBDTParams:    gbdt.DefaultParams(),
+		TrainerName:   model.NameGBDT,
 		NegativeRatio: 4,
 		Seed:          1,
 	}
@@ -53,12 +56,20 @@ type TrainResult struct {
 }
 
 // TrainAndMaybePromote runs one CI/CD cycle: batch-transform the training
-// store, fit a model, benchmark it on the held-out tail, register the
-// version, and run the promotion gate.
+// store, fit a model through the registered trainer, benchmark it on the
+// held-out tail, register the serialized artifact, and run the promotion
+// gate.
 //
 // trainEnd/valEnd split the store's time range exactly like the offline
 // experiments; the validation tail doubles as the CI benchmark.
 func (p *Pipeline) TrainAndMaybePromote(store *trace.Store, trainEnd, valEnd trace.Minutes) (*TrainResult, error) {
+	trainer, ok := model.Get(p.TrainerName)
+	if !ok {
+		return nil, fmt.Errorf("mlops: unknown trainer %q (registered: %v)", p.TrainerName, model.Names())
+	}
+	if !trainer.Applicable(p.Platform) {
+		return nil, fmt.Errorf("mlops: trainer %q is not applicable on %s", p.TrainerName, p.Platform)
+	}
 	samples := p.Features.BatchTransform(store, features.DefaultSamplerConfig())
 	ds := dataset.FromSamples(samples)
 	split, err := dataset.TimeSplit(ds, trainEnd, valEnd)
@@ -72,22 +83,32 @@ func (p *Pipeline) TrainAndMaybePromote(store *trace.Store, trainEnd, valEnd tra
 		return nil, fmt.Errorf("mlops: no positive samples before %v", trainEnd)
 	}
 
-	params := p.GBDTParams
-	params.Seed = p.Seed
-	model, err := gbdt.Fit(train.X, train.Y, split.Val.X, split.Val.Y, params)
+	m, err := trainer.Fit(context.Background(), model.TrainSet{
+		X: train.X, Y: train.Y,
+		XVal: split.Val.X, YVal: split.Val.Y,
+		Platform: p.Platform, Seed: p.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	vp := eval.DefaultVIRRParams()
-	valScores := model.PredictBatch(split.Val.X)
+	valScores := m.ScoreBatch(model.Batch{
+		X: split.Val.X, DIMMs: split.Val.DIMMs, Times: split.Val.Times, Store: store,
+	})
 	valDS := eval.AggregateByDIMM(split.Val.DIMMs, valScores, split.Val.Y)
-	th, bench := eval.BestF1Threshold(valDS, vp)
+	var th float64
+	if ft, ok := m.(model.FixedThresholder); ok {
+		th = ft.FixedThreshold()
+	} else {
+		th, _ = eval.BestF1Threshold(valDS, vp)
+	}
 	metrics := eval.Compute(eval.ConfusionAt(valDS, th), vp)
-	_ = bench
 
-	mv := p.Registry.Register(p.ModelName, p.Platform, "LightGBM",
-		ScorerFunc(model.PredictProba), metrics, th)
+	mv, err := p.Registry.Register(p.ModelName, p.Platform, m, metrics, th)
+	if err != nil {
+		return nil, err
+	}
 	p.Monitor.SetReferenceScores(valScores)
 
 	promoted, reason, err := p.Registry.RunGate(p.ModelName, p.Gate)

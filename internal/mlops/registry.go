@@ -1,12 +1,15 @@
 package mlops
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
 
 	"memfp/internal/eval"
+	"memfp/internal/ml/model"
 	"memfp/internal/platform"
 )
 
@@ -33,7 +36,10 @@ const (
 	StageArchived   Stage = "archived"
 )
 
-// ModelVersion is one registered model.
+// ModelVersion is one registered model. Its model lives as a serialized
+// artifact (the internal/ml/model envelope), so a version survives the
+// process that registered it: Registry.Save/Load round-trips artifacts,
+// stages and thresholds, and serving rehydrates scorers on demand.
 type ModelVersion struct {
 	Name      string
 	Version   int
@@ -43,7 +49,62 @@ type ModelVersion struct {
 	Metrics   eval.Metrics // offline benchmark metrics at registration
 	Threshold float64      // tuned decision threshold
 	CreatedAt time.Time
-	Scorer    Scorer
+	// Artifact is the serialized model envelope (model.Load-able).
+	// Empty only for closure-backed versions (RegisterScorer), which
+	// cannot be persisted.
+	Artifact []byte
+
+	// scorer/mdl cache the rehydrated (or closure-registered) serving
+	// state.
+	scorerOnce sync.Once
+	scorer     Scorer
+	mdl        model.Model
+	scorerErr  error
+}
+
+// Model rehydrates the serialized artifact into a fresh model value.
+func (v *ModelVersion) Model() (model.Model, error) {
+	if len(v.Artifact) == 0 {
+		return nil, fmt.Errorf("mlops: %s v%d has no serialized artifact", v.Name, v.Version)
+	}
+	return model.Load(v.Artifact)
+}
+
+// rehydrate decodes the artifact once and caches both the model and its
+// vector scorer: a server scoring every event pays the decode once.
+// Closure-registered versions keep their scorer and a nil model.
+func (v *ModelVersion) rehydrate() {
+	v.scorerOnce.Do(func() {
+		if v.scorer != nil {
+			return // closure-registered
+		}
+		m, err := v.Model()
+		if err != nil {
+			v.scorerErr = err
+			return
+		}
+		v.mdl = m
+		v.scorer = ScorerFunc(model.VectorScorer(m))
+	})
+}
+
+// Scorer returns the serving-layer vector scorer for this version,
+// rehydrating the artifact on first use.
+func (v *ModelVersion) Scorer() (Scorer, error) {
+	v.rehydrate()
+	return v.scorer, v.scorerErr
+}
+
+// LogScorer returns the history-scoring interface when this version's
+// model is rule-based (scores raw DIMM logs, not feature vectors), or
+// nil for vector models and closure-registered versions.
+func (v *ModelVersion) LogScorer() (model.LogScorer, error) {
+	v.rehydrate()
+	if v.scorerErr != nil {
+		return nil, v.scorerErr
+	}
+	ls, _ := v.mdl.(model.LogScorer)
+	return ls, nil
 }
 
 // Registry is the model registry of Figure 6. Safe for concurrent use.
@@ -57,8 +118,32 @@ func NewRegistry() *Registry {
 	return &Registry{versions: map[string][]*ModelVersion{}}
 }
 
-// Register adds a new version in the staging stage and returns it.
-func (r *Registry) Register(name string, pf platform.ID, algo string,
+// Register serializes a trained model and adds it as a new version in
+// the staging stage.
+func (r *Registry) Register(name string, pf platform.ID, m model.Model,
+	metrics eval.Metrics, threshold float64) (*ModelVersion, error) {
+	artifact, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("mlops: serialize %s: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := &ModelVersion{
+		Name: name, Version: len(r.versions[name]) + 1,
+		Platform: pf, Algorithm: m.Algo(), Stage: StageStaging,
+		Metrics: metrics, Threshold: threshold,
+		CreatedAt: time.Now(), Artifact: artifact,
+	}
+	r.versions[name] = append(r.versions[name], v)
+	return v, nil
+}
+
+// RegisterScorer adds a version backed by a live closure. Such a version
+// dies with the process — Save refuses it.
+//
+// Deprecated: kept for tests and ad-hoc experiments; production paths
+// register serializable models via Register.
+func (r *Registry) RegisterScorer(name string, pf platform.ID, algo string,
 	scorer Scorer, metrics eval.Metrics, threshold float64) *ModelVersion {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -66,7 +151,7 @@ func (r *Registry) Register(name string, pf platform.ID, algo string,
 		Name: name, Version: len(r.versions[name]) + 1,
 		Platform: pf, Algorithm: algo, Stage: StageStaging,
 		Metrics: metrics, Threshold: threshold,
-		CreatedAt: time.Now(), Scorer: scorer,
+		CreatedAt: time.Now(), scorer: scorer,
 	}
 	r.versions[name] = append(r.versions[name], v)
 	return v
@@ -136,6 +221,82 @@ func (r *Registry) List() []*ModelVersion {
 		return out[i].Version < out[j].Version
 	})
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+// registryJSON is the registry's on-disk form.
+type registryJSON struct {
+	Format   string        `json:"format"`
+	Versions []versionJSON `json:"versions"`
+}
+
+type versionJSON struct {
+	Name      string       `json:"name"`
+	Version   int          `json:"version"`
+	Platform  platform.ID  `json:"platform"`
+	Algorithm string       `json:"algorithm"`
+	Stage     Stage        `json:"stage"`
+	Metrics   eval.Metrics `json:"metrics"`
+	Threshold float64      `json:"threshold"`
+	CreatedAt time.Time    `json:"created_at"`
+	Artifact  []byte       `json:"artifact"`
+}
+
+const registryFormat = "memfp-registry-v1"
+
+// Save serializes every version — artifacts, stages, thresholds,
+// metrics — so a reloaded registry serves the same models at the same
+// stages. It errors on closure-backed versions (RegisterScorer), which
+// have nothing durable to write.
+func (r *Registry) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := registryJSON{Format: registryFormat}
+	var names []string
+	for name := range r.versions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, v := range r.versions[name] {
+			if len(v.Artifact) == 0 {
+				return fmt.Errorf("mlops: cannot save %s v%d: closure-backed version has no artifact", v.Name, v.Version)
+			}
+			out.Versions = append(out.Versions, versionJSON{
+				Name: v.Name, Version: v.Version, Platform: v.Platform,
+				Algorithm: v.Algorithm, Stage: v.Stage, Metrics: v.Metrics,
+				Threshold: v.Threshold, CreatedAt: v.CreatedAt, Artifact: v.Artifact,
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadRegistry reads a registry written by Save. Scorers rehydrate
+// lazily on first use; artifacts are validated then, not here.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var in registryJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("mlops: decode registry: %w", err)
+	}
+	if in.Format != registryFormat {
+		return nil, fmt.Errorf("mlops: unknown registry format %q", in.Format)
+	}
+	r := NewRegistry()
+	for _, v := range in.Versions {
+		r.versions[v.Name] = append(r.versions[v.Name], &ModelVersion{
+			Name: v.Name, Version: v.Version, Platform: v.Platform,
+			Algorithm: v.Algorithm, Stage: v.Stage, Metrics: v.Metrics,
+			Threshold: v.Threshold, CreatedAt: v.CreatedAt, Artifact: v.Artifact,
+		})
+	}
+	for _, vs := range r.versions {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Version < vs[j].Version })
+	}
+	return r, nil
 }
 
 // PromotionGate is the CI/CD quality gate: a staged candidate replaces

@@ -102,8 +102,20 @@ func (s *Server) Ingest(e trace.Event) (*Alarm, error) {
 	if err != nil {
 		return nil, err
 	}
-	x := s.Store.ServeVector(l, e.Time)
-	score := mv.Scorer.Score(x)
+	// Rule-based models score the live DIMM history directly; vector
+	// models score the feature-store vector.
+	var score float64
+	if ls, err := mv.LogScorer(); err != nil {
+		return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
+	} else if ls != nil {
+		score = ls.ScoreLog(l, e.Time)
+	} else {
+		scorer, err := mv.Scorer()
+		if err != nil {
+			return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
+		}
+		score = scorer.Score(s.Store.ServeVector(l, e.Time))
+	}
 	if s.monitor != nil {
 		s.monitor.CountPrediction(score)
 	}

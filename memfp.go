@@ -23,25 +23,42 @@ import (
 	"memfp/internal/dataset"
 	"memfp/internal/faultsim"
 	"memfp/internal/features"
+	"memfp/internal/ml/model"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 	"memfp/internal/xrand"
 )
 
-// Algo identifies a prediction algorithm from Table II.
+// Algo identifies a prediction algorithm by its registry name (see
+// internal/ml/model). The value is the trainer's registered name; any
+// registered trainer is a valid Algo with no changes here.
 type Algo string
 
-// The four Table II algorithms.
+// The four paper algorithms, kept as named constants for callers that
+// predate the predictor registry.
+//
+// Deprecated: these are plain registry names — Algos() (the full
+// registry, in Table II row order) or a trainer name string work
+// everywhere these do.
 const (
-	AlgoRiskyCE Algo = "Risky CE Pattern"
-	AlgoForest  Algo = "Random forest"
-	AlgoGBDT    Algo = "LightGBM"
-	AlgoFTT     Algo = "FT-Transformer"
+	AlgoRiskyCE Algo = model.NameRiskyCE
+	AlgoForest  Algo = model.NameForest
+	AlgoGBDT    Algo = model.NameGBDT
+	AlgoFTT     Algo = model.NameFTT
 )
 
-// Algos lists Table II's rows in order.
-func Algos() []Algo { return []Algo{AlgoRiskyCE, AlgoForest, AlgoGBDT, AlgoFTT} }
+// Algos lists Table II's rows in order — every trainer in the predictor
+// registry, so extensions (e.g. the logistic-regression row) appear
+// without call-site changes.
+func Algos() []Algo {
+	names := model.Names()
+	out := make([]Algo, len(names))
+	for i, n := range names {
+		out[i] = Algo(n)
+	}
+	return out
+}
 
 // Config parameterizes an experiment run.
 type Config struct {
@@ -67,6 +84,10 @@ type Config struct {
 	// of their UE (interval-focused labeling per [29, 30]); 0 uses the
 	// default 10 days, negative disables filtering.
 	TrainFocusDays int
+	// Trainer names the registry predictor used by single-model
+	// experiments (the transfer matrix). Default LightGBM; Table II
+	// always runs every registered trainer.
+	Trainer string
 	// Workers bounds experiment-cell concurrency: 0 runs one worker per
 	// CPU, 1 forces the sequential path. Results are identical either way.
 	Workers int
@@ -113,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NegativeRatio == 0 {
 		c.NegativeRatio = 4
+	}
+	if c.Trainer == "" {
+		c.Trainer = model.NameGBDT
 	}
 	return c
 }
@@ -177,6 +201,23 @@ func BuildFleetCtx(ctx context.Context, cfg Config, id platform.ID) (*Fleet, err
 		TrainDown: down,
 		Extractor: x,
 	}, nil
+}
+
+// TrainSet assembles the model-layer training input for this fleet: the
+// downsampled training partition, the validation partition, and the
+// run's seed.
+func (f *Fleet) TrainSet(cfg Config) model.TrainSet {
+	return model.TrainSet{
+		X: f.TrainDown.X, Y: f.TrainDown.Y,
+		XVal: f.Split.Val.X, YVal: f.Split.Val.Y,
+		Platform: f.Platform.ID, Seed: cfg.Seed,
+	}
+}
+
+// batch wraps one split partition as a scoring batch, attaching the
+// fleet's raw store so rule-based models can read event histories.
+func (f *Fleet) batch(d *dataset.Dataset) model.Batch {
+	return model.Batch{X: d.X, DIMMs: d.DIMMs, Times: d.Times, Store: f.Result.Store}
 }
 
 // zeroErrorBitFeatures blanks the bit-level feature block (ablation).

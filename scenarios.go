@@ -151,11 +151,12 @@ func scenarioTable2(ctx context.Context, env *pipeline.Env) error {
 func scenarioTransfer(ctx context.Context, env *pipeline.Env) error {
 	cfg := envConfig(env)
 	cfg.Scale = cfg.Scale * 0.5 // 9 train/eval cells; keep it tractable
+	cfg = cfg.withDefaults()    // resolve the trainer name for the report
 	res, err := RunTransferMatrixCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	env.Printf("Cross-platform transfer (GBDT; extension beyond the paper)\n")
+	env.Printf("Cross-platform transfer (%s; extension beyond the paper)\n", cfg.Trainer)
 	env.Printf("%s", FormatTransferMatrix(res))
 	env.Printf("\ndiagonal dominance = per-platform models are necessary (paper Findings 2-4)\n")
 	return nil

@@ -8,11 +8,14 @@ import (
 )
 
 // TestTableIIGrid runs the full Table II grid — every platform, every
-// algorithm — once through the old sequential generate-then-evaluate path
-// and once through the concurrent pipeline, then checks (a) the two are
-// byte-identical for the same seed and (b) the paper's qualitative
-// findings hold: ML beats the rule baseline on Purley, Whitley is the
-// weakest platform, and F1 scores land in a plausible band.
+// registered algorithm — once through the old sequential
+// generate-then-evaluate path and once through the concurrent pipeline,
+// then checks (a) the two are byte-identical for the same seed, (b) the
+// four paper algorithms match their pinned pre-registry metrics exactly
+// (table2_pinned_test.go — this grid covers the FT-Transformer rows the
+// fast pinned test skips), and (c) the paper's qualitative findings
+// hold: ML beats the rule baseline on Purley, Whitley is the weakest
+// platform, and F1 scores land in a plausible band.
 //
 // The scale matches the benchmark suite (0.02): large enough for every
 // platform to carry training positives, small enough that the double grid
@@ -40,6 +43,7 @@ func TestTableIIGrid(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", id, a, err)
 			}
+			checkPinnedCell(t, id, a, cell)
 			cells[a] = cell
 		}
 		seq.Cells[id] = cells

@@ -6,10 +6,9 @@ import (
 	"strings"
 
 	"memfp/internal/eval"
-	"memfp/internal/ml/gbdt"
+	"memfp/internal/ml/model"
 	"memfp/internal/pipeline"
 	"memfp/internal/platform"
-	"memfp/internal/trace"
 )
 
 // Cross-platform transfer experiment: train a predictor on one platform's
@@ -24,20 +23,31 @@ type TransferResult struct {
 	Metrics         eval.Metrics
 }
 
-// RunTransferMatrix trains a GBDT per platform and evaluates every model
-// on every platform's test partition.
+// RunTransferMatrix trains cfg.Trainer (default LightGBM) per platform
+// and evaluates every model on every platform's test partition.
 func RunTransferMatrix(cfg Config) ([]TransferResult, error) {
 	return RunTransferMatrixCtx(context.Background(), cfg)
 }
 
 // RunTransferMatrixCtx runs the transfer matrix as a two-stage pipeline:
-// stage one builds and trains one GBDT per platform in parallel; stage two
-// fans the source × destination evaluation cells out across the pool.
+// stage one builds and trains one model per platform in parallel; stage
+// two fans the source × destination evaluation cells out across the pool.
+// The predictor comes from the registry via cfg.Trainer, so any
+// registered algorithm can fill the matrix.
 func RunTransferMatrixCtx(ctx context.Context, cfg Config) ([]TransferResult, error) {
 	cfg = cfg.withDefaults()
+	trainer, ok := model.Get(cfg.Trainer)
+	if !ok {
+		return nil, fmt.Errorf("memfp: transfer: unknown trainer %q (registered: %v)", cfg.Trainer, model.Names())
+	}
+	for _, id := range cfg.Platforms {
+		if !trainer.Applicable(id) {
+			return nil, fmt.Errorf("memfp: transfer: trainer %q is not applicable on %s", cfg.Trainer, id)
+		}
+	}
 	type trained struct {
 		fleet *Fleet
-		model *gbdt.Model
+		model model.Model
 	}
 	ts, err := pipeline.Map(ctx, cfg.Workers, cfg.Platforms,
 		func(id platform.ID) string { return "transfer/train/" + string(id) },
@@ -46,10 +56,7 @@ func RunTransferMatrixCtx(ctx context.Context, cfg Config) ([]TransferResult, er
 			if err != nil {
 				return trained{}, err
 			}
-			p := gbdt.DefaultParams()
-			p.Seed = cfg.Seed
-			m, err := gbdt.Fit(fleet.TrainDown.X, fleet.TrainDown.Y,
-				fleet.Split.Val.X, fleet.Split.Val.Y, p)
+			m, err := trainer.Fit(ctx, fleet.TrainSet(cfg))
 			if err != nil {
 				return trained{}, fmt.Errorf("memfp: transfer train %s: %w", id, err)
 			}
@@ -78,26 +85,16 @@ func RunTransferMatrixCtx(ctx context.Context, cfg Config) ([]TransferResult, er
 			// Threshold tuned on the *source* platform's validation —
 			// exactly what naive reuse of a foreign model would do.
 			val := srcT.fleet.Split.Val
-			valDS := eval.AggregateByDIMMWindow(val.DIMMs, val.Times,
-				srcT.model.PredictBatch(val.X), val.Y, 30*trace.Day)
-
-			test := dstT.fleet.Split.Test
-			testDS := eval.AggregateByDIMMWindow(test.DIMMs, test.Times,
-				srcT.model.PredictBatch(test.X), test.Y, 30*trace.Day)
-
 			tr := srcT.fleet.Split.Train
-			trainDS := eval.AggregateByDIMMWindow(tr.DIMMs, tr.Times,
-				make([]float64, tr.Len()), tr.Y, 30*trace.Day)
-			baseRate := eval.PositiveUnitRate(append(trainDS, valDS...))
-			testScores := make([]float64, len(testDS))
-			for i, d := range testDS {
-				testScores[i] = d.Score
-			}
-			th := eval.TuneThreshold(valDS, vp, 20, 1.6, baseRate, testScores)
-			return TransferResult{
-				TrainOn: p.src, TestOn: p.dst,
-				Metrics: eval.Compute(eval.ConfusionAt(testDS, th), vp),
-			}, nil
+			test := dstT.fleet.Split.Test
+			metrics := eval.EvaluateWindowed(
+				eval.Series{DIMMs: tr.DIMMs, Times: tr.Times, Y: tr.Y},
+				eval.Series{DIMMs: val.DIMMs, Times: val.Times,
+					Scores: srcT.model.ScoreBatch(srcT.fleet.batch(val)), Y: val.Y},
+				eval.Series{DIMMs: test.DIMMs, Times: test.Times,
+					Scores: srcT.model.ScoreBatch(dstT.fleet.batch(test)), Y: test.Y},
+				eval.DefaultWindowedConfig(), vp)
+			return TransferResult{TrainOn: p.src, TestOn: p.dst, Metrics: metrics}, nil
 		})
 }
 
