@@ -33,39 +33,52 @@ bench-cache:
 	$(GO) test -run '^$$' -bench BenchmarkTableIIFleetCache -benchtime 2x -timeout 30m .
 
 # Per-phase benchmarks (generate / extract / train / eval), per-model
-# training benchmarks (forest / GBDT / FTT), and per-algorithm artifact
+# training benchmarks (forest / GBDT / FTT), per-algorithm artifact
 # benchmarks (envelope marshal / unmarshal / ScoreBatch throughput from
-# the predictor registry), recorded as BENCH_PR4.json so the perf
-# trajectory stays machine-readable. BENCH_PR2/3.json are earlier PRs'
-# snapshots — keep them for comparison.
+# the predictor registry), and serving-throughput benchmarks (events/sec
+# replayed through the sharded online engine per production algorithm,
+# shards 1 vs N, against the preserved pre-refactor sequential baseline),
+# recorded as BENCH_PR5.json so the perf trajectory stays
+# machine-readable. BENCH_PR2/3/4.json are earlier PRs' snapshots — keep
+# them for comparison.
 # The sub-second phases run 5 iterations for stable numbers; the
-# FT-Transformer fit (~a minute per iteration) runs once. TrainGBDT is an
-# alias of Train (same body), so the JSON entry is derived from the one
-# measurement rather than fitting the booster twice.
+# FT-Transformer fit (~a minute per iteration) runs once; the multi-second
+# replays run 3. TrainGBDT is an alias of Train (same body), so the JSON
+# entry is derived from the one measurement rather than fitting the
+# booster twice.
 bench-quick:
 	$(GO) test -run '^$$' -bench '^BenchmarkPhase(Generate|GenerateSequential|Extract|Train|TrainForest|Eval)$$' \
-		-benchtime 5x -timeout 30m . > BENCH_PR4.txt
+		-benchtime 5x -timeout 30m . > BENCH_PR5.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkPhaseTrainFTT$$' -benchtime 1x -timeout 30m . \
-		>> BENCH_PR4.txt
+		>> BENCH_PR5.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkModel(Marshal|Unmarshal|ScoreBatch)$$' \
-		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR4.txt
-	cat BENCH_PR4.txt
+		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR5.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchtime 3x -timeout 60m . \
+		>> BENCH_PR5.txt
+	cat BENCH_PR5.txt
 	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"benchmarks\": {" ; n=0 } \
-		/^Benchmark(Phase|Model)/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
-			for (i=2; i<=NF; i++) if ($$(i) == "ns/op") { \
+		/^Benchmark(Phase|Model|Serve)/ { name=$$1; sub(/-[0-9]+$$/, "", name); sec=""; eps=""; \
+			for (i=2; i<=NF; i++) { \
+				if ($$(i) == "ns/op") sec=$$(i-1)/1e9; \
+				if ($$(i) == "events/sec") eps=$$(i-1) } \
+			if (sec != "") { \
 				if (n++) printf ","; \
-				printf "\n    \"%s\": { \"seconds\": %.6f }", name, $$(i-1)/1e9; \
+				printf "\n    \"%s\": { \"seconds\": %.6f", name, sec; \
+				if (eps != "") printf ", \"events_per_sec\": %.0f", eps; \
+				printf " }"; \
 				if (name == "BenchmarkPhaseTrain") \
-					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, $$(i-1)/1e9 } } \
-		END { print "\n  }\n}" }' BENCH_PR4.txt > BENCH_PR4.json
-	@rm -f BENCH_PR4.txt
-	@echo "wrote BENCH_PR4.json"
+					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, sec } } \
+		END { print "\n  }\n}" }' BENCH_PR5.txt > BENCH_PR5.json
+	@rm -f BENCH_PR5.txt
+	@echo "wrote BENCH_PR5.json"
 
 # Race-detector pass over the concurrency-bearing packages: the worker
 # pool, the parallel fleet generator, the indexed trace store, sharded
 # feature extraction, the fleet cache / experiment pipeline, the parallel
 # model trainers (tree histograms, forest, GBDT), the predictor registry,
-# and the mlops registry's lazy scorer rehydration.
+# and the mlops serving engine (shard-local locking, concurrent Ingest
+# with mid-stream promotion through the epoch-cached production model,
+# hardened monitor counters, lazy scorer rehydration).
 test-race:
 	$(GO) test -race -timeout 20m ./internal/par/ ./internal/faultsim/ \
 		./internal/trace/ ./internal/features/ ./internal/pipeline/ \

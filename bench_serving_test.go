@@ -1,0 +1,86 @@
+package memfp
+
+// Serving-throughput benchmarks: events/sec replayed through the online
+// engine at the bench scale, per production algorithm and shard count,
+// against the preserved pre-refactor sequential server (ReplayBaseline).
+// `make bench-quick` runs these and records BENCH_PR5.json; the PR 5
+// acceptance bar is ≥2× single-shard engine throughput over the baseline
+// for the LightGBM production model.
+//
+// The FT-Transformer is deliberately absent: its per-prediction forward
+// pass dominates any serving-layer cost at minutes per replay, so the
+// engine-vs-baseline comparison it would record is all model time.
+
+import (
+	"context"
+	"testing"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
+	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// servingFixture boots a promoted production model for one trainer over
+// the shared bench fleet and returns the pipeline, the fleet, and the
+// fleet's total event count.
+func servingFixture(b *testing.B, trainer string) (*mlops.Pipeline, *faultsim.Result, int) {
+	b.Helper()
+	res, err := pipeline.Shared.Get(context.Background(),
+		faultsim.Config{Platform: platform.Purley, Scale: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := mlops.NewPipeline(platform.Purley)
+	pipe.Seed = 42
+	pipe.TrainerName = trainer
+	if _, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day); err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	for _, l := range res.Store.DIMMs() {
+		events += len(l.Events)
+	}
+	return pipe, res, events
+}
+
+// benchReplay replays the fleet through a fresh engine per iteration and
+// reports events/sec. shards == -1 selects the pre-refactor baseline.
+func benchReplay(b *testing.B, trainer string, shards int, micro bool) {
+	pipe, res, events := servingFixture(b, trainer)
+	b.ResetTimer()
+	alarms := 0
+	for i := 0; i < b.N; i++ {
+		var n int
+		var err error
+		if shards < 0 {
+			s := mlops.NewServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil)
+			n, err = s.ReplayBaseline(context.Background(), res.Store, nil)
+		} else {
+			s := mlops.NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, shards)
+			s.MicroBatch = micro
+			n, err = s.Replay(context.Background(), res.Store, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		alarms = n
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(alarms), "alarms")
+}
+
+// LightGBM — the paper's best performer and the acceptance target.
+func BenchmarkServeBaselineLightGBM(b *testing.B) { benchReplay(b, model.NameGBDT, -1, false) }
+func BenchmarkServeLightGBMShards1(b *testing.B)  { benchReplay(b, model.NameGBDT, 1, true) }
+func BenchmarkServeLightGBMShardsN(b *testing.B)  { benchReplay(b, model.NameGBDT, 0, true) }
+
+// Micro-batching isolated: single shard with per-event scoring.
+func BenchmarkServeLightGBMShards1NoBatch(b *testing.B) { benchReplay(b, model.NameGBDT, 1, false) }
+
+// The remaining fast production algorithms, single shard.
+func BenchmarkServeRiskyCEShards1(b *testing.B)  { benchReplay(b, model.NameRiskyCE, 1, true) }
+func BenchmarkServeForestShards1(b *testing.B)   { benchReplay(b, model.NameForest, 1, true) }
+func BenchmarkServeLogisticShards1(b *testing.B) { benchReplay(b, model.NameLogistic, 1, true) }

@@ -165,6 +165,7 @@ func cmdServe(args []string) error {
 	scale, seed := commonFlags(fs)
 	pf := fs.String("platform", string(platform.Purley), "platform ID")
 	trainer := fs.String("trainer", model.NameGBDT, "registry trainer the mlops loop ships")
+	shards := fs.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,13 +177,13 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, name, *scale, *seed)
+	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, name, *scale, *seed, *shards)
 }
 
 // runServe is the serve flow against an explicit writer and cache, so the
 // fig6 scenario can honor its Env contract.
 func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
-	id platform.ID, trainer string, scale float64, seed uint64) error {
+	id platform.ID, trainer string, scale float64, seed uint64, shards int) error {
 	res, err := cache.Get(ctx, faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
 		return err
@@ -190,6 +191,7 @@ func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
 	pipe := mlops.NewPipeline(id)
 	pipe.Seed = seed
 	pipe.TrainerName = trainer
+	pipe.Shards = shards
 	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@
 // drift, and retraining + re-gating at each cycle — the "continuous
 // improvement over the production lifecycle" the paper argues for.
 //
-// Usage: mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42]
+// Usage: mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42] [-shards 0]
 package main
 
 import (
@@ -28,14 +28,15 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fleet scale")
 	seed := flag.Uint64("seed", 42, "seed")
 	trainer := flag.String("trainer", model.NameGBDT, "registry trainer the service ships")
+	shards := flag.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
 	flag.Parse()
-	if err := run(platform.ID(*pf), *trainer, *scale, *seed); err != nil {
+	if err := run(platform.ID(*pf), *trainer, *scale, *seed, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "mlopsd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(id platform.ID, trainer string, scale float64, seed uint64) error {
+func run(id platform.ID, trainer string, scale float64, seed uint64, shards int) error {
 	if _, err := platform.Get(id); err != nil {
 		return err
 	}
@@ -56,33 +57,20 @@ func run(id platform.ID, trainer string, scale float64, seed uint64) error {
 	}
 	// Gather the full event stream once, time-ordered, and the ground
 	// outcomes for feedback resolution.
-	type stamped struct {
-		e trace.Event
-	}
-	var all []stamped
+	var all []trace.Event
 	failed := map[trace.DIMMID]trace.Minutes{}
 	for _, l := range res.Store.DIMMs() {
-		for _, e := range l.Events {
-			all = append(all, stamped{e})
-		}
+		all = append(all, l.Events...)
 		if ue, ok := l.FirstUE(); ok {
 			failed[l.ID] = ue
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].e, all[j].e
-		if a.Time != b.Time {
-			return a.Time < b.Time
-		}
-		if a.DIMM != b.DIMM {
-			return a.DIMM.Less(b.DIMM)
-		}
-		return a.Type < b.Type
-	})
+	sort.Stable(trace.ByTime(all))
 
 	pipe := mlops.NewPipeline(id)
 	pipe.Seed = seed
 	pipe.TrainerName = trainer
+	pipe.Shards = shards
 
 	// Bootstrap: train on the first five months.
 	bootEnd := 150 * trace.Day
@@ -98,34 +86,48 @@ func run(id platform.ID, trainer string, scale float64, seed uint64) error {
 	for _, l := range res.Store.DIMMs() {
 		server.RegisterDIMM(l.ID, l.Part)
 	}
+	fmt.Printf("serving engine: %d shards, micro-batch=%v\n", server.Shards(), server.MicroBatch)
+
+	// ingestRange feeds all[lo:hi) through the engine in micro-batched
+	// ticks: each tick routes its events to the shards concurrently and
+	// scores every due prediction with one ScoreBatch call per shard.
+	const tick = 1024
+	ingestRange := func(lo, hi int) ([]mlops.Alarm, error) {
+		var out []mlops.Alarm
+		for ; lo < hi; lo += tick {
+			end := lo + tick
+			if end > hi {
+				end = hi
+			}
+			as, err := server.IngestBatch(all[lo:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, as...)
+		}
+		return out, nil
+	}
 
 	// Serve the post-validation stream month by month, retraining after
 	// each month with the accumulated data.
 	cycle := 1
 	var alarms []mlops.Alarm
-	cursor := 0
 	// Skip history the bootstrap model was trained on (it is replayed
 	// into the server silently so live features see full context).
-	ctx := context.Background()
-	_ = ctx
-	for ; cursor < len(all) && all[cursor].e.Time < valEnd; cursor++ {
-		if _, err := server.Ingest(all[cursor].e); err != nil {
-			return err
-		}
+	cursor := sort.Search(len(all), func(i int) bool { return all[i].Time >= valEnd })
+	if _, err := ingestRange(0, cursor); err != nil {
+		return err
 	}
 	for monthStart := valEnd; monthStart < trace.ObservationSpan; monthStart += 30 * trace.Day {
 		monthEnd := monthStart + 30*trace.Day
-		monthAlarms := 0
-		for ; cursor < len(all) && all[cursor].e.Time < monthEnd; cursor++ {
-			a, err := server.Ingest(all[cursor].e)
-			if err != nil {
-				return err
-			}
-			if a != nil {
-				alarms = append(alarms, *a)
-				monthAlarms++
-			}
+		hi := cursor + sort.Search(len(all)-cursor, func(i int) bool { return all[cursor+i].Time >= monthEnd })
+		monthlyAlarms, err := ingestRange(cursor, hi)
+		if err != nil {
+			return err
 		}
+		cursor = hi
+		alarms = append(alarms, monthlyAlarms...)
+		monthAlarms := len(monthlyAlarms)
 		pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
 		prec, rec := pipe.Monitor.LivePrecisionRecall()
 		dec := pipe.Monitor.ShouldRetrain(0.25, 0.15)

@@ -27,6 +27,7 @@ func main() {
 	scale := flag.Float64("scale", 0.08, "fleet scale")
 	seed := flag.Uint64("seed", 21, "seed")
 	trainer := flag.String("trainer", model.NameGBDT, "registry trainer to ship")
+	shards := flag.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
 	flag.Parse()
 	id := platform.ID(*pf)
 	if _, err := platform.Get(id); err != nil {
@@ -40,6 +41,7 @@ func main() {
 	pipe := mlops.NewPipeline(id)
 	pipe.Seed = *seed
 	pipe.TrainerName = *trainer
+	pipe.Shards = *shards
 
 	// Feature store catalog, as Data Scientists would browse it.
 	fs := pipe.Features
@@ -56,9 +58,12 @@ func main() {
 	fmt.Printf("cycle 1: %s v%d promoted=%v (%s) benchmark[%s]\n",
 		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
 
-	// Online serving: replay the fleet's event stream through the
-	// production model.
+	// Online serving: replay the fleet's event stream through the sharded
+	// engine — each shard k-way-merges its own DIMMs' logs and scores due
+	// predictions in micro-batches; the alarm stream is identical for any
+	// -shards value.
 	server := pipe.NewServer()
+	fmt.Printf("serving engine: %d shards, micro-batch=%v\n", server.Shards(), server.MicroBatch)
 	var alarms []mlops.Alarm
 	n, err := server.Replay(context.Background(), res.Store, func(a mlops.Alarm) {
 		alarms = append(alarms, a)

@@ -1,0 +1,76 @@
+package features
+
+import (
+	"memfp/internal/trace"
+)
+
+// ServeCursor is the online-serving counterpart of Cursor: it extracts
+// feature vectors from a DIMM log that keeps growing between calls
+// (trace.DIMMLog.Append), folding only the newly appended events into its
+// lifetime accumulators instead of re-walking the full history on every
+// prediction.
+//
+// The fast path requires the forward-only contract the serving engine
+// maintains: the log stays indexed (appends arrive in time order) and
+// extraction instants are nondecreasing. Violations are detected, not
+// trusted:
+//
+//   - An out-of-order append degrades the log's index
+//     (trace.DIMMLog.Indexed turns false); every subsequent ExtractAt
+//     falls back to a fresh full extraction — exactly what the offline
+//     Extractor.Extract computes on such a log — until the log is
+//     re-sorted.
+//   - A full re-index (SortEvents) may reorder events beneath the cursor;
+//     the generation counter (trace.DIMMLog.IndexGen) detects it and the
+//     cursor rebuilds from scratch.
+//   - A non-monotonic instant (t below the previous call's t) rebuilds
+//     the incremental state and replays the history up to t.
+//
+// In every case the returned vector is identical to a fresh
+// Extractor.Extract(l, t) on the same log; the contract only decides the
+// cost. A ServeCursor is not safe for concurrent use; the serving engine
+// guards each one with its shard lock.
+type ServeCursor struct {
+	x     *Extractor
+	l     *trace.DIMMLog
+	inner *Cursor
+	gen   uint64
+	lastT trace.Minutes
+	begun bool
+}
+
+// NewServeCursor starts an online extraction stream over l.
+func (x *Extractor) NewServeCursor(l *trace.DIMMLog) *ServeCursor {
+	return &ServeCursor{x: x, l: l}
+}
+
+// ExtractAt computes the feature vector at instant t, equal to
+// Extractor.Extract(l, t) at incremental cost on the fast path (see the
+// type comment for the degraded paths).
+func (sc *ServeCursor) ExtractAt(t trace.Minutes) []float64 {
+	if !sc.l.Indexed() {
+		// Out-of-order appends degraded the log: the cached views are no
+		// longer append-only time-sorted prefixes, so incremental state
+		// cannot be trusted. Mirror the offline extraction path.
+		sc.inner = nil
+		sc.begun = false
+		return sc.x.Extract(sc.l, t)
+	}
+	if sc.inner == nil || sc.l.IndexGen() != sc.gen || (sc.begun && t < sc.lastT) {
+		sc.inner = sc.x.NewCursor(sc.l)
+		sc.gen = sc.l.IndexGen()
+	} else {
+		sc.inner.refresh()
+	}
+	sc.begun, sc.lastT = true, t
+	return sc.inner.ExtractAt(t)
+}
+
+// refresh re-reads the log's cached per-type views. On an indexed log the
+// views only grow by in-order appends, so the consumed prefix ces[:pos]
+// is unchanged and the cursor's accumulators stay valid; only the slice
+// headers need renewing to see events appended since the last call.
+func (c *Cursor) refresh() {
+	c.ces = c.l.CEs()
+	c.storms = c.l.StormTimes()
+}

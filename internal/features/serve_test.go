@@ -1,0 +1,124 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// busyLogs returns generated DIMM logs with at least minCEs CE events.
+func busyLogs(t *testing.T, minCEs, max int) []*trace.DIMMLog {
+	t.Helper()
+	res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.01, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*trace.DIMMLog
+	for _, l := range res.Store.DIMMs() {
+		if len(l.CEs()) >= minCEs {
+			out = append(out, l)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no busy DIMMs at this scale")
+	}
+	return out
+}
+
+// TestServeCursorMatchesFreshExtract replays real DIMM histories through
+// a growing log — the serving engine's ingestion pattern — and checks
+// that the cursor-backed vector at every CE instant equals the
+// pre-cursor full-scan extraction over the log's state at that moment.
+func TestServeCursorMatchesFreshExtract(t *testing.T) {
+	for _, src := range busyLogs(t, 10, 5) {
+		live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+		sc := x0.NewServeCursor(live)
+		checked := 0
+		for _, e := range src.Events {
+			live.Append(e)
+			if e.Type != trace.TypeCE {
+				continue
+			}
+			got := sc.ExtractAt(e.Time)
+			want := naiveExtract(x0, live, e.Time)
+			if !reflect.DeepEqual(got, want) {
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("%s @%v: feature %q cursor %v != fresh %v",
+							src.ID, e.Time, Names()[k], got[k], want[k])
+					}
+				}
+			}
+			checked++
+		}
+		if !live.Indexed() {
+			t.Fatalf("%s: in-order replay degraded the log", src.ID)
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no CE instants checked", src.ID)
+		}
+	}
+}
+
+// TestServeCursorOutOfOrderFallback degrades the log mid-stream with an
+// out-of-order append: the cursor must detect it and keep answering with
+// the offline-equivalent extraction, then recover the incremental path
+// after the log is re-sorted (a new index generation).
+func TestServeCursorOutOfOrderFallback(t *testing.T) {
+	src := busyLogs(t, 20, 1)[0]
+	ces := src.CEs()
+	live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+	sc := x0.NewServeCursor(live)
+	for _, e := range ces[:10] {
+		live.Append(e)
+		sc.ExtractAt(e.Time)
+	}
+	// A late-arriving event older than everything served so far.
+	stale := ces[0]
+	stale.Time = ces[0].Time - 10
+	live.Append(stale)
+	if live.Indexed() {
+		t.Fatal("out-of-order append should degrade the index")
+	}
+	at := ces[9].Time + 1
+	if got, want := sc.ExtractAt(at), x0.Extract(live, at); !reflect.DeepEqual(got, want) {
+		t.Fatal("degraded cursor diverged from offline extraction")
+	}
+	// Re-sorting restores the fast path; vectors must now match the
+	// full-scan oracle over the re-sorted history, including the late event.
+	live.SortEvents()
+	for _, e := range ces[10:14] {
+		live.Append(e)
+		if got, want := sc.ExtractAt(e.Time), naiveExtract(x0, live, e.Time); !reflect.DeepEqual(got, want) {
+			t.Fatalf("@%v: post-recovery cursor diverged", e.Time)
+		}
+	}
+	if !live.Indexed() {
+		t.Fatal("recovered log should be indexed again")
+	}
+}
+
+// TestServeCursorNonMonotonicInstant checks the rewind path: asking for
+// an instant before the previous one rebuilds the incremental state and
+// still answers exactly.
+func TestServeCursorNonMonotonicInstant(t *testing.T) {
+	src := busyLogs(t, 20, 1)[0]
+	live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+	for _, e := range src.Events {
+		live.Append(e)
+	}
+	ces := live.CEs()
+	sc := x0.NewServeCursor(live)
+	seq := []trace.Minutes{ces[10].Time, ces[3].Time, ces[15].Time, ces[15].Time, ces[2].Time - 1}
+	for _, at := range seq {
+		if got, want := sc.ExtractAt(at), naiveExtract(x0, live, at); !reflect.DeepEqual(got, want) {
+			t.Fatalf("@%v: rewound cursor diverged", at)
+		}
+	}
+}

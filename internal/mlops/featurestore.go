@@ -1,8 +1,21 @@
 // Package mlops implements the paper's Figure 6 MLOps framework for memory
 // failure prediction: a feature store with batch and stream
 // transformation, a model registry with staged promotion through a CI/CD
-// gate, an online prediction server over a live event stream, and
+// gate, a sharded online prediction engine over a live event stream, and
 // monitoring with drift detection and outcome feedback.
+//
+// The serving layer (Server) is a sharded concurrent engine: DIMMs hash
+// onto shards that own their logs, extraction cursors, throttle and
+// cooldown state behind shard-local locks, so ingestion scales with
+// cores while the emitted alarm stream stays byte-identical for every
+// shard count. Predictions reuse a per-DIMM features.ServeCursor (only
+// newly arrived events are folded in), resolve the production model
+// through a cache invalidated by the registry's promotion epoch, and —
+// in Replay/IngestBatch — score each shard's due predictions through a
+// single ScoreBatch call per tick. Replay feeds the shards by k-way
+// merging the store's already-sorted per-DIMM logs instead of
+// materializing and globally sorting the fleet stream; ReplayBaseline
+// preserves the sequential path as the equivalence oracle.
 package mlops
 
 import (
@@ -112,9 +125,21 @@ func (fs *FeatureStore) BatchTransform(s *trace.Store, cfg features.SamplerConfi
 }
 
 // ServeVector computes the live feature vector for one DIMM at time t —
-// the "stream" path feeding online prediction.
+// the "stream" path feeding online prediction. Each call re-extracts
+// from the full history; a serving loop predicting repeatedly on the
+// same DIMM should hold a NewServeCursor instead.
 func (fs *FeatureStore) ServeVector(l *trace.DIMMLog, t trace.Minutes) []float64 {
 	return fs.extractor.Extract(l, t)
+}
+
+// NewServeCursor returns the cursor-backed stream path: an incremental
+// extractor over one DIMM's growing log whose vectors equal ServeVector
+// at every instant, but which folds in only the events appended since
+// the previous prediction (see features.ServeCursor for the
+// out-of-order and non-monotonic fallbacks). The sharded engine keeps
+// one per served DIMM.
+func (fs *FeatureStore) NewServeCursor(l *trace.DIMMLog) *features.ServeCursor {
+	return fs.extractor.NewServeCursor(l)
 }
 
 // SelectIndices maps a feature-name selection to vector indices,

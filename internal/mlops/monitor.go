@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"memfp/internal/trace"
 )
@@ -18,17 +19,21 @@ func sortSlice[T any](s []T, less func(a, b T) bool) {
 // Monitor implements the Monitoring boxes of Figure 6: ingestion and
 // prediction counters, score-distribution drift (PSI against a training
 // reference), and outcome feedback that measures live precision/recall
-// and decides when retraining is warranted. Safe for concurrent use.
+// and decides when retraining is warranted.
+//
+// Safe for concurrent use by every shard of the serving engine: the
+// hot-path counters (events, predictions, score histogram) are lock-free
+// atomics so shards never serialize on the monitor, and the colder state
+// (alarms, reference distribution, feedback) sits behind a mutex.
 type Monitor struct {
-	mu sync.Mutex
+	events      [3]atomic.Int64 // indexed by trace.EventType
+	predictions atomic.Int64
+	scoreBins   [10]atomic.Int64 // live score histogram
 
-	EventsIngested map[trace.EventType]int
-	Predictions    int
-	Alarms         []Alarm
-
-	scoreBins  []float64 // live score histogram (10 buckets)
-	refBins    []float64 // reference (training-time) histogram
+	mu         sync.Mutex
+	refBins    [10]float64 // reference (training-time) histogram
 	refSamples float64
+	alarms     []Alarm
 
 	// Feedback: alarm outcomes resolved against later UEs.
 	resolvedTP, resolvedFP int
@@ -36,13 +41,7 @@ type Monitor struct {
 }
 
 // NewMonitor returns an empty monitor.
-func NewMonitor() *Monitor {
-	return &Monitor{
-		EventsIngested: map[trace.EventType]int{},
-		scoreBins:      make([]float64, 10),
-		refBins:        make([]float64, 10),
-	}
-}
+func NewMonitor() *Monitor { return &Monitor{} }
 
 // SetReferenceScores records the training-time score distribution used as
 // the PSI drift baseline.
@@ -69,44 +68,69 @@ func bucket(score float64) int {
 	return b
 }
 
-// CountEvent tallies one ingested event.
+// CountEvent tallies one ingested event. Lock-free.
 func (m *Monitor) CountEvent(e trace.Event) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.EventsIngested[e.Type]++
+	if t := int(e.Type); t >= 0 && t < len(m.events) {
+		m.events[t].Add(1)
+	}
 }
 
-// CountPrediction tallies one model invocation.
+// CountPrediction tallies one model invocation. Lock-free.
 func (m *Monitor) CountPrediction(score float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.Predictions++
-	m.scoreBins[bucket(score)]++
+	m.predictions.Add(1)
+	m.scoreBins[bucket(score)].Add(1)
 }
 
 // CountAlarm tallies one emitted alarm.
 func (m *Monitor) CountAlarm(a Alarm) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.Alarms = append(m.Alarms, a)
+	m.alarms = append(m.alarms, a)
+}
+
+// EventCount returns the number of ingested events of one type.
+func (m *Monitor) EventCount(t trace.EventType) int {
+	if i := int(t); i >= 0 && i < len(m.events) {
+		return int(m.events[i].Load())
+	}
+	return 0
+}
+
+// PredictionCount returns the number of model invocations.
+func (m *Monitor) PredictionCount() int { return int(m.predictions.Load()) }
+
+// AlarmCount returns the number of emitted alarms.
+func (m *Monitor) AlarmCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.alarms)
+}
+
+// Alarms returns a snapshot copy of the emitted alarms.
+func (m *Monitor) Alarms() []Alarm {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alarm(nil), m.alarms...)
 }
 
 // PSI computes the population stability index between the live score
 // distribution and the reference. Values above ~0.25 conventionally
 // indicate significant drift.
 func (m *Monitor) PSI() float64 {
+	var bins [10]float64
+	live := 0.0
+	for i := range m.scoreBins {
+		bins[i] = float64(m.scoreBins[i].Load())
+		live += bins[i]
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	live := 0.0
-	for _, v := range m.scoreBins {
-		live += v
-	}
 	if live == 0 || m.refSamples == 0 {
 		return 0
 	}
 	psi := 0.0
-	for i := range m.scoreBins {
-		p := (m.scoreBins[i] + 0.5) / (live + 5)
+	for i := range bins {
+		p := (bins[i] + 0.5) / (live + 5)
 		q := (m.refBins[i] + 0.5) / (m.refSamples + 5)
 		psi += (p - q) * math.Log(p/q)
 	}
@@ -128,6 +152,10 @@ func (m *Monitor) Feedback(tp, fp, fn int) {
 func (m *Monitor) LivePrecisionRecall() (prec, rec float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.liveLocked()
+}
+
+func (m *Monitor) liveLocked() (prec, rec float64) {
 	if m.resolvedTP+m.resolvedFP > 0 {
 		prec = float64(m.resolvedTP) / float64(m.resolvedTP+m.resolvedFP)
 	}
@@ -166,20 +194,14 @@ func (m *Monitor) ShouldRetrain(psiThreshold, minPrecision float64) RetrainDecis
 // Dashboard renders a text status summary (the paper's monitoring
 // dashboards, in terminal form).
 func (m *Monitor) Dashboard() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var sb strings.Builder
 	sb.WriteString("=== MLOps Monitoring Dashboard ===\n")
 	fmt.Fprintf(&sb, "events ingested: CE=%d UE=%d storms=%d\n",
-		m.EventsIngested[trace.TypeCE], m.EventsIngested[trace.TypeUE], m.EventsIngested[trace.TypeStorm])
-	fmt.Fprintf(&sb, "predictions: %d, alarms: %d\n", m.Predictions, len(m.Alarms))
-	prec, rec := 0.0, 0.0
-	if m.resolvedTP+m.resolvedFP > 0 {
-		prec = float64(m.resolvedTP) / float64(m.resolvedTP+m.resolvedFP)
-	}
-	if m.resolvedTP+m.missedFN > 0 {
-		rec = float64(m.resolvedTP) / float64(m.resolvedTP+m.missedFN)
-	}
+		m.EventCount(trace.TypeCE), m.EventCount(trace.TypeUE), m.EventCount(trace.TypeStorm))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(&sb, "predictions: %d, alarms: %d\n", m.predictions.Load(), len(m.alarms))
+	prec, rec := m.liveLocked()
 	fmt.Fprintf(&sb, "feedback: TP=%d FP=%d FN=%d (live P=%.2f R=%.2f)\n",
 		m.resolvedTP, m.resolvedFP, m.missedFN, prec, rec)
 	return sb.String()

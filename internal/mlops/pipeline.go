@@ -29,6 +29,10 @@ type Pipeline struct {
 	TrainerName   string
 	NegativeRatio float64
 	Seed          uint64
+	// Shards is the serving engine's shard count (<= 0: one per CPU).
+	// Any value produces the identical alarm stream; it only sets the
+	// ingestion fan-out.
+	Shards int
 }
 
 // NewPipeline assembles a pipeline with defaults (LightGBM, the paper's
@@ -118,10 +122,10 @@ func (p *Pipeline) TrainAndMaybePromote(store *trace.Store, trainEnd, valEnd tra
 	return &TrainResult{Version: mv, Promoted: promoted, Reason: reason, Benchmark: metrics}, nil
 }
 
-// NewServer returns an online server bound to this pipeline's production
-// model, feature store and monitor.
+// NewServer returns a sharded online engine bound to this pipeline's
+// production model, feature store and monitor.
 func (p *Pipeline) NewServer() *Server {
-	return NewServer(p.Platform, p.Features, p.Registry, p.ModelName, p.Monitor)
+	return NewShardedServer(p.Platform, p.Features, p.Registry, p.ModelName, p.Monitor, p.Shards)
 }
 
 // ResolveAlarms replays ground outcomes into monitoring feedback: each

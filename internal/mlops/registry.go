@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memfp/internal/eval"
@@ -107,11 +108,32 @@ func (v *ModelVersion) LogScorer() (model.LogScorer, error) {
 	return ls, nil
 }
 
+// ServingModel returns the cached rehydrated model for batch scoring
+// (the engine's micro-batched ScoreBatch path), or nil for
+// closure-registered versions, which can only score vector-at-a-time.
+func (v *ModelVersion) ServingModel() (model.Model, error) {
+	v.rehydrate()
+	if v.scorerErr != nil {
+		return nil, v.scorerErr
+	}
+	return v.mdl, nil
+}
+
 // Registry is the model registry of Figure 6. Safe for concurrent use.
 type Registry struct {
 	mu       sync.RWMutex
 	versions map[string][]*ModelVersion // name → versions ascending
+	// epoch advances on every promotion. Serving layers cache the
+	// resolved production model and compare epochs instead of taking the
+	// registry lock on every prediction.
+	epoch atomic.Uint64
 }
+
+// Epoch returns a counter that advances on every Promote (including
+// promotions through RunGate). A server that cached a production lookup
+// at epoch E serves it lock-free until Epoch() != E, then re-resolves —
+// the invalidation hook behind the engine's cached production model.
+func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
@@ -179,6 +201,7 @@ func (r *Registry) Promote(name string, version int) error {
 		}
 	}
 	target.Stage = StageProduction
+	r.epoch.Add(1)
 	return nil
 }
 

@@ -3,8 +3,13 @@ package mlops
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"memfp/internal/features"
+	"memfp/internal/ml/model"
+	"memfp/internal/par"
 	"memfp/internal/platform"
 	"memfp/internal/trace"
 )
@@ -28,10 +33,35 @@ const (
 	MitigationPageOffline   Mitigation = "page-offlining"
 )
 
-// Server is the online prediction service: it ingests a time-ordered
-// event stream, maintains per-DIMM history, asks the production model for
-// a score at every prediction opportunity, and emits alarms. One Server
-// instance serves one platform.
+// Server is the online prediction engine: it ingests an event stream,
+// maintains per-DIMM history, asks the production model for a score at
+// every prediction opportunity, and emits alarms. One Server instance
+// serves one platform.
+//
+// The engine is sharded: DIMMs are assigned to hash(DIMMID) % shards, and
+// each shard owns its DIMMs' logs, extraction cursors, throttle and
+// cooldown state behind a shard-local lock, so concurrent Ingest calls
+// for DIMMs on different shards never contend. Shard assignment is a pure
+// function of the DIMM identity, and per-DIMM serving state never reads
+// another DIMM's, so the emitted alarm set is identical for every shard
+// count (enforced by TestServingShardedMatchesBaseline).
+//
+// Three mechanisms keep the per-event cost flat:
+//
+//   - The production model resolution (registry lookup + artifact
+//     rehydration check) is cached behind the registry's promotion epoch;
+//     predictions pay one atomic load until a Promote invalidates it.
+//   - Each DIMM keeps a features.ServeCursor, so a prediction folds only
+//     the events appended since the previous prediction instead of
+//     re-extracting the full history.
+//   - Ingested events are appended through trace.DIMMLog.Append, which
+//     maintains the per-type query index incrementally for in-order
+//     streams instead of degrading it to linear scans.
+//
+// With MicroBatch enabled, Replay and IngestBatch additionally coalesce
+// the predictions that fall due together into one ScoreBatch call per
+// shard, amortizing per-call model overhead (decisive for batch-oriented
+// scorers like the FT-Transformer).
 type Server struct {
 	Platform platform.ID
 	Store    *FeatureStore
@@ -43,137 +73,531 @@ type Server struct {
 	PredictEvery trace.Minutes
 	// Cooldown suppresses repeat alarms for the same DIMM.
 	Cooldown trace.Minutes
+	// MicroBatch scores predictions due in the same tick through a single
+	// ScoreBatch call per shard (Replay and IngestBatch only; a lone
+	// Ingest is always scored synchronously). Scores are unchanged —
+	// every registered model scores batch rows independently.
+	MicroBatch bool
 
-	mu        sync.Mutex
-	logs      map[trace.DIMMID]*trace.DIMMLog
-	lastPred  map[trace.DIMMID]trace.Minutes
-	lastAlarm map[trace.DIMMID]trace.Minutes
-	monitor   *Monitor
+	shards  []*shard
+	monitor *Monitor
+	prod    atomic.Pointer[prodCache]
 }
 
-// NewServer builds a serving instance.
+// shard owns the serving state of the DIMMs hashed onto it.
+type shard struct {
+	mu    sync.Mutex
+	dimms map[trace.DIMMID]*dimmState
+}
+
+// dimmState is one DIMM's serving state, guarded by its shard's lock.
+type dimmState struct {
+	log    *trace.DIMMLog
+	cursor *features.ServeCursor // lazily built on first vector prediction
+	// lastPred keeps the historical zero-value throttle semantics (the
+	// first prediction requires e.Time >= PredictEvery).
+	lastPred trace.Minutes
+	// lastAlarm/alarmed track the cooldown window; the explicit presence
+	// flag (rather than a time-zero sentinel) lets an alarm fired at
+	// minute 0 suppress repeats like any other.
+	lastAlarm trace.Minutes
+	alarmed   bool
+}
+
+// prodCache is the resolved production model at one registry epoch.
+type prodCache struct {
+	epoch     uint64
+	mv        *ModelVersion
+	label     string // "name-vN"
+	scorer    Scorer // vector path (nil when logScorer serves)
+	logScorer model.LogScorer
+	mdl       model.Model // batch path; nil for closure-registered versions
+}
+
+// NewServer builds a serving engine with one shard per CPU.
 func NewServer(pf platform.ID, fs *FeatureStore, reg *Registry, model string, mon *Monitor) *Server {
-	return &Server{
+	return NewShardedServer(pf, fs, reg, model, mon, 0)
+}
+
+// NewShardedServer builds a serving engine with an explicit shard count;
+// shards <= 0 uses one per CPU. The shard count fixes the concurrency
+// fan-out, never the results.
+func NewShardedServer(pf platform.ID, fs *FeatureStore, reg *Registry, model string,
+	mon *Monitor, shards int) *Server {
+	n := par.Workers(shards)
+	s := &Server{
 		Platform:     pf,
 		Store:        fs,
 		Registry:     reg,
 		Model:        model,
 		PredictEvery: 5,
 		Cooldown:     12 * trace.Hour,
-		logs:         map[trace.DIMMID]*trace.DIMMLog{},
-		lastPred:     map[trace.DIMMID]trace.Minutes{},
-		lastAlarm:    map[trace.DIMMID]trace.Minutes{},
+		MicroBatch:   true,
+		shards:       make([]*shard, n),
 		monitor:      mon,
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{dimms: map[trace.DIMMID]*dimmState{}}
+	}
+	return s
+}
+
+// Shards returns the engine's shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// hashDIMM maps a DIMM identity to its shard (FNV-1a over the full ID) —
+// stable across processes, so shard assignment is reproducible.
+func hashDIMM(id trace.DIMMID) uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for i := 0; i < len(id.Platform); i++ {
+		mix(id.Platform[i])
+	}
+	for _, v := range [2]int{id.Server, id.Slot} {
+		u := uint64(int64(v))
+		for sh := 0; sh < 64; sh += 8 {
+			mix(byte(u >> sh))
+		}
+	}
+	return h
+}
+
+func (s *Server) shardFor(id trace.DIMMID) *shard {
+	return s.shards[int(hashDIMM(id)%uint32(len(s.shards)))]
 }
 
 // RegisterDIMM announces a DIMM's static attributes (from the asset
 // inventory) before its events can be served.
 func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.logs[id]; !ok {
-		s.logs[id] = &trace.DIMMLog{ID: id, Part: part}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.dimms[id]; !ok {
+		sh.dimms[id] = &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
 	}
 }
 
+// production resolves the production model through the epoch-stamped
+// cache: the registry lock and the rehydration check are paid only when a
+// promotion moved the epoch since the last prediction.
+func (s *Server) production() (*prodCache, error) {
+	ep := s.Registry.Epoch()
+	if pc := s.prod.Load(); pc != nil && pc.epoch == ep {
+		return pc, nil
+	}
+	mv, err := s.Registry.Production(s.Model)
+	if err != nil {
+		return nil, err
+	}
+	pc := &prodCache{epoch: ep, mv: mv, label: fmt.Sprintf("%s-v%d", mv.Name, mv.Version)}
+	if pc.logScorer, err = mv.LogScorer(); err != nil {
+		return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
+	}
+	if pc.logScorer == nil {
+		if pc.scorer, err = mv.Scorer(); err != nil {
+			return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
+		}
+		pc.mdl, _ = mv.ServingModel() // nil for closure-registered versions
+	}
+	s.prod.Store(pc)
+	return pc, nil
+}
+
+// pendingPred is a vector prediction awaiting its micro-batch score. The
+// vector was extracted when the prediction fell due, so later same-tick
+// events cannot leak into it.
+type pendingPred struct {
+	st  *dimmState
+	e   trace.Event
+	vec []float64
+}
+
 // Ingest processes one event and returns an alarm when the production
-// model fires. A nil alarm means no action.
+// model fires. A nil alarm means no action. Safe for concurrent use;
+// events of one DIMM must be delivered by a single caller at a time.
 func (s *Server) Ingest(e trace.Event) (*Alarm, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.logs[e.DIMM]
+	sh := s.shardFor(e.DIMM)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, err := s.ingestLocked(sh, e, nil)
+	if a != nil && s.monitor != nil {
+		s.monitor.CountAlarm(*a)
+	}
+	return a, err
+}
+
+// ingestLocked runs the per-event serving path with the shard lock held.
+// When pend is non-nil, vector predictions are queued there (scored by
+// flushPending at tick end) instead of synchronously; alarms from that
+// path are emitted by the flush. Monitor alarm accounting is the
+// caller's responsibility — Replay counts alarms post-merge so the
+// monitor sees them in time order.
+func (s *Server) ingestLocked(sh *shard, e trace.Event, pend *[]pendingPred) (*Alarm, error) {
+	st, ok := sh.dimms[e.DIMM]
 	if !ok {
 		return nil, fmt.Errorf("mlops: event for unregistered DIMM %s", e.DIMM)
 	}
-	l.Events = append(l.Events, e)
+	st.log.Append(e)
+	if !st.log.Indexed() {
+		// A late event arrived out of time order. Re-sort once so the
+		// index — and with it the incremental cursor path (the generation
+		// bump makes the cursor rebuild) — recovers immediately, instead
+		// of silently degrading every later prediction on this DIMM to a
+		// full-history linear re-extraction.
+		st.log.SortEvents()
+	}
 	if s.monitor != nil {
 		s.monitor.CountEvent(e)
 	}
 	if e.Type != trace.TypeCE {
 		return nil, nil
 	}
-	if e.Time-s.lastPred[e.DIMM] < s.PredictEvery {
+	if e.Time-st.lastPred < s.PredictEvery {
 		return nil, nil
 	}
-	s.lastPred[e.DIMM] = e.Time
+	st.lastPred = e.Time
 
-	mv, err := s.Registry.Production(s.Model)
+	pc, err := s.production()
 	if err != nil {
 		return nil, err
 	}
 	// Rule-based models score the live DIMM history directly; vector
-	// models score the feature-store vector.
-	var score float64
-	if ls, err := mv.LogScorer(); err != nil {
-		return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
-	} else if ls != nil {
-		score = ls.ScoreLog(l, e.Time)
-	} else {
-		scorer, err := mv.Scorer()
-		if err != nil {
-			return nil, fmt.Errorf("mlops: rehydrate %s v%d: %w", mv.Name, mv.Version, err)
-		}
-		score = scorer.Score(s.Store.ServeVector(l, e.Time))
+	// models score the cursor-maintained feature vector.
+	if pc.logScorer != nil {
+		return s.finishPrediction(st, e, pc, pc.logScorer.ScoreLog(st.log, e.Time)), nil
 	}
+	if st.cursor == nil {
+		st.cursor = s.Store.NewServeCursor(st.log)
+	}
+	vec := st.cursor.ExtractAt(e.Time)
+	if pend != nil && pc.mdl != nil {
+		*pend = append(*pend, pendingPred{st: st, e: e, vec: vec})
+		return nil, nil
+	}
+	return s.finishPrediction(st, e, pc, pc.scorer.Score(vec)), nil
+}
+
+// finishPrediction applies monitoring, threshold and cooldown to one
+// score and materializes the alarm. Shard lock held.
+func (s *Server) finishPrediction(st *dimmState, e trace.Event, pc *prodCache, score float64) *Alarm {
 	if s.monitor != nil {
 		s.monitor.CountPrediction(score)
 	}
-	if score < mv.Threshold {
-		return nil, nil
+	if score < pc.mv.Threshold {
+		return nil
 	}
-	if e.Time-s.lastAlarm[e.DIMM] < s.Cooldown && s.lastAlarm[e.DIMM] > 0 {
-		return nil, nil
+	if st.alarmed && e.Time-st.lastAlarm < s.Cooldown {
+		return nil
 	}
-	s.lastAlarm[e.DIMM] = e.Time
-	a := &Alarm{Time: e.Time, DIMM: e.DIMM, Score: score, Model: fmt.Sprintf("%s-v%d", mv.Name, mv.Version)}
-	if s.monitor != nil {
-		s.monitor.CountAlarm(*a)
-	}
-	return a, nil
+	st.alarmed, st.lastAlarm = true, e.Time
+	return &Alarm{Time: e.Time, DIMM: e.DIMM, Score: score, Model: pc.label}
 }
 
-// Replay streams a full store through the server in time order, invoking
-// onAlarm for each alarm; ctx cancels early. It returns the alarm count.
-// This is the offline-replay harness used by examples and benchmarks.
+// flushPending scores the queued predictions of one shard tick through a
+// single ScoreBatch call and appends the resulting alarms to out in
+// queue order (which is time-then-DIMM order within a tick).
+func (s *Server) flushPending(pend *[]pendingPred, out *[]Alarm) error {
+	if len(*pend) == 0 {
+		return nil
+	}
+	pc, err := s.production()
+	if err != nil {
+		return err
+	}
+	queue := *pend
+	var scores []float64
+	if pc.mdl != nil {
+		X := make([][]float64, len(queue))
+		dimms := make([]trace.DIMMID, len(queue))
+		times := make([]trace.Minutes, len(queue))
+		for i, p := range queue {
+			X[i], dimms[i], times[i] = p.vec, p.e.DIMM, p.e.Time
+		}
+		scores = pc.mdl.ScoreBatch(model.Batch{X: X, DIMMs: dimms, Times: times})
+	}
+	for i, p := range queue {
+		var score float64
+		if scores != nil {
+			score = scores[i]
+		} else {
+			// The production model changed to a non-batchable version
+			// between queueing and flushing; fall back per-row.
+			switch {
+			case pc.logScorer != nil:
+				score = pc.logScorer.ScoreLog(p.st.log, p.e.Time)
+			default:
+				score = pc.scorer.Score(p.vec)
+			}
+		}
+		if a := s.finishPrediction(p.st, p.e, pc, score); a != nil {
+			*out = append(*out, *a)
+		}
+	}
+	*pend = queue[:0]
+	return nil
+}
+
+// IngestBatch processes a micro-batch of events — the online engine's
+// tick. Events are routed to their shards and processed concurrently,
+// preserving arrival order within each shard; with MicroBatch enabled,
+// each shard's due predictions are scored through one ScoreBatch call.
+// Alarms are returned merged in (Time, DIMM) order and counted into the
+// monitor in that order. The alarm set is identical to calling Ingest
+// per event. On error the alarms that fired before the failure are
+// still returned (and counted) alongside it — cooldown state was
+// already advanced for them, so dropping them would lose them for good.
+func (s *Server) IngestBatch(events []trace.Event) ([]Alarm, error) {
+	perShard := make([][]trace.Event, len(s.shards))
+	for _, e := range events {
+		si := int(hashDIMM(e.DIMM) % uint32(len(s.shards)))
+		perShard[si] = append(perShard[si], e)
+	}
+	alarms := make([][]Alarm, len(s.shards))
+	errs := make([]error, len(s.shards))
+	par.ForEachN(0, len(s.shards), func(i int) {
+		if len(perShard[i]) == 0 {
+			return
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		var out []Alarm
+		var pend []pendingPred
+		pendPtr := &pend
+		if !s.MicroBatch {
+			pendPtr = nil
+		}
+		for _, e := range perShard[i] {
+			a, err := s.ingestLocked(sh, e, pendPtr)
+			if err != nil {
+				errs[i] = err
+				break
+			}
+			if a != nil {
+				out = append(out, *a)
+			}
+		}
+		// Flush even after an error: the queued predictions fell due
+		// before the failing event and their DIMMs' throttles already
+		// advanced — exactly what per-event Ingest would have scored.
+		if err := s.flushPending(&pend, &out); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+		alarms[i] = out
+	})
+	merged := mergeAlarms(alarms)
+	if s.monitor != nil {
+		for _, a := range merged {
+			s.monitor.CountAlarm(a)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return merged, err
+		}
+	}
+	return merged, nil
+}
+
+// Replay streams a full store through the engine, invoking onAlarm for
+// each alarm in (Time, DIMM) order once every shard has drained; ctx
+// cancels early. It returns the alarm count. On error (cancellation
+// included) the alarms that fired before the failure are still
+// delivered, merged, ahead of the error — cooldown state was already
+// advanced for them. Instead of materializing and globally sorting the
+// fleet's event stream, each shard k-way-merges its own DIMMs'
+// already-sorted logs and serves them independently; shards run
+// concurrently on the worker pool. A store log left unsorted (bulk
+// appends with no SortAll) is merged through a sorted copy, so the
+// replay order never silently diverges from the sequential baseline.
 func (s *Server) Replay(ctx context.Context, st *trace.Store, onAlarm func(Alarm)) (int, error) {
-	var all []trace.Event
+	perShard := make([][]*trace.DIMMLog, len(s.shards))
 	for _, l := range st.DIMMs() {
 		s.RegisterDIMM(l.ID, l.Part)
-		all = append(all, l.Events...)
-	}
-	sortEvents(all)
-	n := 0
-	for _, e := range all {
-		select {
-		case <-ctx.Done():
-			return n, ctx.Err()
-		default:
+		if !l.Indexed() {
+			// The merge needs time-sorted input; sort a copy rather than
+			// mutating the caller's store. Stable, matching the
+			// baseline's global stable sort on ties.
+			cp := &trace.DIMMLog{ID: l.ID, Part: l.Part, Events: append([]trace.Event(nil), l.Events...)}
+			sort.Stable(trace.ByTime(cp.Events))
+			l = cp
 		}
-		a, err := s.Ingest(e)
+		si := int(hashDIMM(l.ID) % uint32(len(s.shards)))
+		perShard[si] = append(perShard[si], l)
+	}
+	alarms := make([][]Alarm, len(s.shards))
+	errs := make([]error, len(s.shards))
+	par.ForEachN(0, len(s.shards), func(i int) {
+		alarms[i], errs[i] = s.replayShard(ctx, s.shards[i], perShard[i])
+	})
+	merged := mergeAlarms(alarms)
+	n := 0
+	for _, a := range merged {
+		if s.monitor != nil {
+			s.monitor.CountAlarm(a)
+		}
+		if onAlarm != nil {
+			onAlarm(a)
+		}
+		n++
+	}
+	for _, err := range errs {
 		if err != nil {
 			return n, err
-		}
-		if a != nil {
-			n++
-			if onAlarm != nil {
-				onAlarm(*a)
-			}
 		}
 	}
 	return n, nil
 }
 
-func sortEvents(es []trace.Event) {
-	// Events from DIMM logs are individually sorted; a global sort keeps
-	// the replay faithful to wall-clock arrival.
-	sortSlice(es, func(a, b trace.Event) bool {
+// replayShard drains one shard's logs through a k-way merge, returning
+// the alarms fired so far alongside any error. The shard lock is held
+// for the whole replay; live Ingest traffic for other shards proceeds
+// unhindered.
+func (s *Server) replayShard(ctx context.Context, sh *shard, logs []*trace.DIMMLog) ([]Alarm, error) {
+	if len(logs) == 0 {
+		return nil, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := newLogMerge(logs)
+	var out []Alarm
+	var pend []pendingPred
+	pendPtr := &pend
+	if !s.MicroBatch {
+		pendPtr = nil
+	}
+	// fail flushes the predictions queued before the failure — their
+	// throttles already advanced, so per-event serving would have scored
+	// them — then reports the first error.
+	fail := func(err error) ([]Alarm, error) {
+		if ferr := s.flushPending(&pend, &out); ferr != nil && err == nil {
+			err = ferr
+		}
+		return out, err
+	}
+	curT := trace.Minutes(-1 << 62)
+	for n := 0; ; n++ {
+		if n%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			default:
+			}
+		}
+		e, ok := m.pop()
+		if !ok {
+			break
+		}
+		if e.Time != curT {
+			// Tick boundary: score everything that fell due at curT.
+			if err := s.flushPending(&pend, &out); err != nil {
+				return out, err
+			}
+			curT = e.Time
+		}
+		a, err := s.ingestLocked(sh, e, pendPtr)
+		if err != nil {
+			return fail(err)
+		}
+		if a != nil {
+			out = append(out, *a)
+		}
+	}
+	return fail(nil)
+}
+
+// logMerge is a k-way merge over per-DIMM time-sorted logs, yielding the
+// shard's events in global (Time, DIMM, Type) order without materializing
+// them. Per-log order is preserved for equal keys (each log holds one
+// heap slot), so equal-time events of one DIMM replay in log order.
+type logMerge struct {
+	logs []*trace.DIMMLog
+	pos  []int
+	heap []int // log indices, min-heap by head event
+}
+
+func newLogMerge(logs []*trace.DIMMLog) *logMerge {
+	m := &logMerge{logs: logs, pos: make([]int, len(logs))}
+	for i, l := range logs {
+		if len(l.Events) > 0 {
+			m.heap = append(m.heap, i)
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+func (m *logMerge) head(li int) trace.Event { return m.logs[li].Events[m.pos[li]] }
+
+func (m *logMerge) less(a, b int) bool {
+	ea, eb := m.head(m.heap[a]), m.head(m.heap[b])
+	if ea.Time != eb.Time {
+		return ea.Time < eb.Time
+	}
+	// Distinct logs hold distinct DIMMs, so this tie-break is total; a
+	// DIMM's own equal-time events never race each other here — they
+	// stay in log order behind their log's single heap slot.
+	return ea.DIMM.Less(eb.DIMM)
+}
+
+func (m *logMerge) siftDown(i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(m.heap) && m.less(l, min) {
+			min = l
+		}
+		if r < len(m.heap) && m.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heap[i], m.heap[min] = m.heap[min], m.heap[i]
+		i = min
+	}
+}
+
+// pop yields the next event in merged order.
+func (m *logMerge) pop() (trace.Event, bool) {
+	if len(m.heap) == 0 {
+		return trace.Event{}, false
+	}
+	li := m.heap[0]
+	e := m.head(li)
+	m.pos[li]++
+	if m.pos[li] >= len(m.logs[li].Events) {
+		m.heap[0] = m.heap[len(m.heap)-1]
+		m.heap = m.heap[:len(m.heap)-1]
+	}
+	m.siftDown(0)
+	return e, true
+}
+
+// mergeAlarms flattens per-shard alarm streams into (Time, DIMM) order.
+// At most one alarm exists per (Time, DIMM), so the order is total and
+// the merged stream is deterministic for every shard count.
+func mergeAlarms(perShard [][]Alarm) []Alarm {
+	n := 0
+	for _, as := range perShard {
+		n += len(as)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Alarm, 0, n)
+	for _, as := range perShard {
+		out = append(out, as...)
+	}
+	sortSlice(out, func(a, b Alarm) bool {
 		if a.Time != b.Time {
 			return a.Time < b.Time
 		}
-		if a.DIMM != b.DIMM {
-			return a.DIMM.Less(b.DIMM)
-		}
-		return a.Type < b.Type
+		return a.DIMM.Less(b.DIMM)
 	})
+	return out
 }

@@ -1,0 +1,459 @@
+package mlops
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// trainedPipeline generates a fleet and boots a promoted production
+// model, shared (and cached — training once is enough) fixture for the
+// serving-equivalence tests.
+var fixtureOnce sync.Once
+var fixturePipe *Pipeline
+var fixtureRes *faultsim.Result
+var fixtureErr error
+
+func trainedPipeline(t *testing.T) (*Pipeline, *faultsim.Result) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: 0.03, Seed: 31})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		pipe := NewPipeline(platform.Purley)
+		pipe.Seed = 31
+		tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		if !tr.Promoted {
+			fixtureErr = fmt.Errorf("bootstrap training should promote: %s", tr.Reason)
+			return
+		}
+		fixturePipe, fixtureRes = pipe, res
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixturePipe, fixtureRes
+}
+
+// collectReplay replays the store through a fresh engine configuration
+// and returns the alarm stream.
+func collectReplay(t *testing.T, pipe *Pipeline, res *faultsim.Result, shards int, micro bool) []Alarm {
+	t.Helper()
+	s := NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, shards)
+	s.MicroBatch = micro
+	var alarms []Alarm
+	n, err := s.Replay(context.Background(), res.Store, func(a Alarm) { alarms = append(alarms, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(alarms) {
+		t.Fatalf("alarm count %d != callback count %d", n, len(alarms))
+	}
+	return alarms
+}
+
+// TestServingShardedMatchesBaseline is the tentpole's safety net: for
+// shard counts 1, 4 and 16 — micro-batched and not — the engine's replay
+// must produce the byte-identical alarm stream (time, DIMM, score bits,
+// model label, order) that the preserved pre-refactor sequential path
+// produces on the same fleet and production model.
+func TestServingShardedMatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	pipe, res := trainedPipeline(t)
+	base := NewServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil)
+	var want []Alarm
+	if _, err := base.ReplayBaseline(context.Background(), res.Store, func(a Alarm) {
+		want = append(want, a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline emitted no alarms; fixture too small to prove anything")
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, micro := range []bool{true, false} {
+			got := collectReplay(t, pipe, res, shards, micro)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d micro=%v: %d alarms, want %d", shards, micro, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d micro=%v: alarm %d differs:\n got %+v\nwant %+v",
+						shards, micro, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIngestBatchMatchesIngest feeds the identical time-ordered stream
+// through per-event Ingest and through chunked IngestBatch ticks: the
+// alarm streams must match exactly (micro-batched scoring defers only
+// the ScoreBatch call, never the decision).
+func TestIngestBatchMatchesIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	pipe, res := trainedPipeline(t)
+	var stream []trace.Event
+	for _, l := range res.Store.DIMMs() {
+		stream = append(stream, l.Events...)
+	}
+	sortSlice(stream, func(a, b trace.Event) bool {
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.DIMM != b.DIMM {
+			return a.DIMM.Less(b.DIMM)
+		}
+		return a.Type < b.Type
+	})
+
+	mk := func(shards int) *Server {
+		s := NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, shards)
+		for _, l := range res.Store.DIMMs() {
+			s.RegisterDIMM(l.ID, l.Part)
+		}
+		return s
+	}
+	one := mk(1)
+	var want []Alarm
+	for _, e := range stream {
+		a, err := one.Ingest(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != nil {
+			want = append(want, *a)
+		}
+	}
+	batched := mk(4)
+	var got []Alarm
+	for lo := 0; lo < len(stream); lo += 512 {
+		hi := lo + 512
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		as, err := batched.IngestBatch(stream[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, as...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("IngestBatch emitted %d alarms, Ingest %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alarm %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("stream emitted no alarms; fixture too small to prove anything")
+	}
+}
+
+// TestCooldownSuppressesTimeZeroAlarm is the regression test for the
+// sentinel bug: an alarm fired at minute 0 must suppress repeats inside
+// the cooldown window exactly like any later alarm (the old
+// `lastAlarm > 0` guard treated time zero as "never alarmed").
+func TestCooldownSuppressesTimeZeroAlarm(t *testing.T) {
+	reg := NewRegistry()
+	always := ScorerFunc(func(x []float64) float64 { return 1.0 })
+	reg.RegisterScorer("m", platform.Purley, "test", always, eval.Metrics{Precision: 1, F1: 1}, 0.5)
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	server := NewShardedServer(platform.Purley, NewFeatureStore(), reg, "m", nil, 2)
+	server.PredictEvery = 0 // let the very first event at minute 0 predict
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.DIMMID{Platform: platform.Purley, Server: 1, Slot: 1}
+	server.RegisterDIMM(id, part)
+	mk := func(tm trace.Minutes) trace.Event {
+		return trace.Event{Time: tm, Type: trace.TypeCE, DIMM: id}
+	}
+	a0, err := server.Ingest(mk(0))
+	if err != nil || a0 == nil {
+		t.Fatalf("alarm at minute 0 missing: %v %v", a0, err)
+	}
+	a1, err := server.Ingest(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != nil {
+		t.Fatal("repeat alarm inside cooldown after a minute-0 alarm (sentinel regression)")
+	}
+	a2, err := server.Ingest(mk(server.Cooldown + 1))
+	if err != nil || a2 == nil {
+		t.Fatalf("post-cooldown alarm missing: %v %v", a2, err)
+	}
+}
+
+// TestIngestOutOfOrderRecovers: a late event must not strand its DIMM on
+// the degraded linear path — the engine re-sorts the log once and the
+// next prediction sees the canonical history.
+func TestIngestOutOfOrderRecovers(t *testing.T) {
+	reg := NewRegistry()
+	var lastVec []float64
+	spy := ScorerFunc(func(x []float64) float64 {
+		lastVec = append([]float64(nil), x...)
+		return 0
+	})
+	reg.RegisterScorer("m", platform.Purley, "test", spy, eval.Metrics{Precision: 1, F1: 1}, 0.5)
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFeatureStore()
+	server := NewShardedServer(platform.Purley, fs, reg, "m", nil, 2)
+	server.PredictEvery = 0
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.DIMMID{Platform: platform.Purley, Server: 3, Slot: 2}
+	server.RegisterDIMM(id, part)
+	times := []trace.Minutes{100, 400, 250 /* late */, 700}
+	for _, tm := range times {
+		if _, err := server.Ingest(trace.Event{Time: tm, Type: trace.TypeCE, DIMM: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The engine's view must now match a canonically sorted history.
+	oracle := &trace.DIMMLog{ID: id, Part: part}
+	for _, tm := range []trace.Minutes{100, 250, 400, 700} {
+		oracle.Append(trace.Event{Time: tm, Type: trace.TypeCE, DIMM: id})
+	}
+	want := fs.ServeVector(oracle, 700)
+	if len(lastVec) != len(want) {
+		t.Fatalf("vector length %d vs %d", len(lastVec), len(want))
+	}
+	for i := range want {
+		if lastVec[i] != want[i] {
+			t.Fatalf("feature %d: served %v, want %v (late event mis-folded)", i, lastVec[i], want[i])
+		}
+	}
+}
+
+// TestReplayUnsortedStore: a store whose logs were never sorted (bulk
+// out-of-order appends, no SortAll) must replay through sorted copies
+// and match the baseline, which globally sorts.
+func TestReplayUnsortedStore(t *testing.T) {
+	reg := NewRegistry()
+	scorer := ScorerFunc(func(x []float64) float64 { return x[5] / 4 }) // ce_total-driven
+	reg.RegisterScorer("m", platform.Purley, "test", scorer, eval.Metrics{Precision: 1, F1: 1}, 0.5)
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := trace.NewStore()
+	for d := 0; d < 6; d++ {
+		id := trace.DIMMID{Platform: platform.Purley, Server: d, Slot: 0}
+		if _, err := store.Register(id, part); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately unsorted times.
+		for _, tm := range []trace.Minutes{500, 100, 900, 300, 700, 1100, 50} {
+			if err := store.Append(trace.Event{
+				Time: tm + trace.Minutes(d), Type: trace.TypeCE, DIMM: id,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if store.Get(id).Indexed() {
+			t.Fatal("fixture log unexpectedly sorted")
+		}
+	}
+	fs := NewFeatureStore()
+	base := NewServer(platform.Purley, fs, reg, "m", nil)
+	var want []Alarm
+	if _, err := base.ReplayBaseline(context.Background(), store, func(a Alarm) { want = append(want, a) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline emitted no alarms; fixture proves nothing")
+	}
+	for _, shards := range []int{1, 3} {
+		eng := NewShardedServer(platform.Purley, fs, reg, "m", nil, shards)
+		var got []Alarm
+		if _, err := eng.Replay(context.Background(), store, func(a Alarm) { got = append(got, a) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d alarms, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: alarm %d differs:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+	// The caller's store must not have been mutated into sorted order.
+	if store.Get(trace.DIMMID{Platform: platform.Purley, Server: 0, Slot: 0}).Indexed() {
+		t.Fatal("Replay mutated the caller's store")
+	}
+}
+
+// TestIngestBatchDeliversAlarmsOnError: alarms whose cooldown state
+// advanced before a mid-batch error must be returned with the error,
+// not dropped (they would otherwise be suppressed forever).
+func TestIngestBatchDeliversAlarmsOnError(t *testing.T) {
+	reg := NewRegistry()
+	always := ScorerFunc(func(x []float64) float64 { return 1.0 })
+	reg.RegisterScorer("m", platform.Purley, "test", always, eval.Metrics{Precision: 1, F1: 1}, 0.5)
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trace.DIMMID{Platform: platform.Purley, Server: 1, Slot: 1}
+	unknown := trace.DIMMID{Platform: platform.Purley, Server: 99, Slot: 9}
+	// Inline scoring fires the alarm before the bad event; micro-batched
+	// scoring queues it and must still flush it despite the error.
+	for _, micro := range []bool{false, true} {
+		server := NewShardedServer(platform.Purley, NewFeatureStore(), reg, "m", nil, 2)
+		server.PredictEvery = 0
+		server.MicroBatch = micro
+		server.RegisterDIMM(good, part)
+		alarms, err := server.IngestBatch([]trace.Event{
+			{Time: 10, Type: trace.TypeCE, DIMM: good},
+			{Time: 11, Type: trace.TypeCE, DIMM: unknown},
+		})
+		if err == nil {
+			t.Fatalf("micro=%v: unregistered DIMM must error", micro)
+		}
+		if len(alarms) != 1 || alarms[0].DIMM != good {
+			t.Fatalf("micro=%v: fired alarm lost on error path: %+v", micro, alarms)
+		}
+	}
+}
+
+// TestConcurrentIngestWithPromotion drives every shard from its own
+// goroutine while the registry keeps promoting new versions mid-stream —
+// the -race proof for shard-local locking, the epoch-invalidated
+// production cache, and the hardened monitor.
+func TestConcurrentIngestWithPromotion(t *testing.T) {
+	reg := NewRegistry()
+	for v := 1; v <= 6; v++ {
+		v := v
+		scorer := ScorerFunc(func(x []float64) float64 { return float64(v) / 10 })
+		reg.RegisterScorer("m", platform.Purley, "test", scorer, eval.Metrics{Precision: 1, F1: 1}, 0.99)
+	}
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor()
+	server := NewShardedServer(platform.Purley, NewFeatureStore(), reg, "m", mon, 8)
+	part, err := platform.PartByNumber("A4-2666-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const feeders = 8
+	const dimmsPerFeeder = 4
+	ids := make([][]trace.DIMMID, feeders)
+	for f := 0; f < feeders; f++ {
+		for d := 0; d < dimmsPerFeeder; d++ {
+			id := trace.DIMMID{Platform: platform.Purley, Server: f*dimmsPerFeeder + d, Slot: 0}
+			server.RegisterDIMM(id, part)
+			ids[f] = append(ids[f], id)
+		}
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := ids[f][i%dimmsPerFeeder]
+				if _, err := server.Ingest(trace.Event{
+					Time: trace.Minutes(i * 7), Type: trace.TypeCE, DIMM: id,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 2; v <= 6; v++ {
+			if err := reg.Promote("m", v); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = mon.PSI()
+			_ = mon.Dashboard()
+		}
+	}()
+	wg.Wait()
+	if got, want := mon.EventCount(trace.TypeCE), feeders*400; got != want {
+		t.Fatalf("monitor counted %d CE events, want %d", got, want)
+	}
+	if mon.PredictionCount() == 0 {
+		t.Fatal("no predictions counted")
+	}
+}
+
+// TestMonitorConcurrentCounters hammers every monitor entry point from
+// parallel goroutines; -race plus the final tallies prove the hardened
+// counters.
+func TestMonitorConcurrentCounters(t *testing.T) {
+	m := NewMonitor()
+	m.SetReferenceScores([]float64{0.1, 0.5, 0.9})
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.CountEvent(trace.Event{Type: trace.TypeCE})
+				m.CountPrediction(float64(i%10) / 10)
+				if i%100 == 0 {
+					m.CountAlarm(Alarm{Time: trace.Minutes(i), Model: fmt.Sprint(w)})
+					m.Feedback(1, 0, 0)
+					_ = m.PSI()
+					_ = m.Dashboard()
+					_, _ = m.LivePrecisionRecall()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.EventCount(trace.TypeCE); got != workers*per {
+		t.Fatalf("EventCount = %d, want %d", got, workers*per)
+	}
+	if got := m.PredictionCount(); got != workers*per {
+		t.Fatalf("PredictionCount = %d, want %d", got, workers*per)
+	}
+	if got := m.AlarmCount(); got != workers*(per/100) {
+		t.Fatalf("AlarmCount = %d, want %d", got, workers*(per/100))
+	}
+	if len(m.Alarms()) != m.AlarmCount() {
+		t.Fatal("Alarms snapshot length disagrees with AlarmCount")
+	}
+}

@@ -119,10 +119,12 @@ func (s ByTime) Less(i, j int) bool {
 // cached CE/UE subsets, a CE-times slice for binary search, first-CE/UE
 // instants — that turns the hot window queries (CEsBetween, FirstUE,
 // FirstCE, CEs, UEs) into O(log n) or O(1) lookups with no allocation.
-// The index is keyed to len(Events): appending events directly (streaming
-// ingest, tests) silently degrades queries to the original linear scans
+// The index is keyed to len(Events): mutating Events directly (bulk
+// loading, tests) silently degrades queries to the original linear scans
 // until the next SortEvents, and never mutates the log, so a fully sorted
-// log is safe for concurrent readers.
+// log is safe for concurrent readers. Streaming ingestion should use
+// Append, which maintains the index incrementally for in-order arrivals
+// instead of degrading it.
 type DIMMLog struct {
 	ID     DIMMID
 	Part   platform.DIMMPart
@@ -131,6 +133,7 @@ type DIMMLog struct {
 	// Index caches, valid while idxLen == len(Events). The zero value is a
 	// valid index for an empty log.
 	idxLen  int
+	idxGen  uint64    // bumped on every full index rebuild (buildIndex)
 	ces     []Event   // CE events in time order
 	ues     []Event   // UE events in time order
 	ceTimes []Minutes // ceTimes[i] == ces[i].Time, for binary search
@@ -178,10 +181,56 @@ func (d *DIMMLog) buildIndex() {
 		}
 	}
 	d.idxLen = len(d.Events)
+	d.idxGen++
 }
 
 // indexed reports whether the cached views match the current Events slice.
 func (d *DIMMLog) indexed() bool { return d.idxLen == len(d.Events) }
+
+// Indexed reports whether the log's query index is current: every query
+// runs at its indexed cost and the cached views (CEs, UEs, StormTimes)
+// are time-sorted and grow only by appending. Online consumers holding
+// incremental state over those views (features.ServeCursor) check this to
+// decide whether their prefix is still trustworthy.
+func (d *DIMMLog) Indexed() bool { return d.indexed() }
+
+// IndexGen returns a generation counter that advances on every full index
+// rebuild (SortEvents). In-order Appends extend the index without
+// advancing the generation, so a consumer that cached view prefixes can
+// detect a rebuild — which may reorder events beneath it — and start over.
+func (d *DIMMLog) IndexGen() uint64 { return d.idxGen }
+
+// Append adds one event to the log. When the log is indexed and the event
+// arrives in time order (e.Time >= the last event's time), the per-type
+// index is extended incrementally, so streaming ingestion keeps FirstUE,
+// FirstCE, CEsBetween, CountCEsBetween, CEs, UEs and StormTimes at their
+// indexed O(1)/O(log n) costs. An out-of-order append (or an append to an
+// already-degraded log) falls back to the documented stale-index
+// semantics: queries revert to linear scans until the next SortEvents.
+func (d *DIMMLog) Append(e Event) {
+	inOrder := d.indexed() &&
+		(len(d.Events) == 0 || e.Time >= d.Events[len(d.Events)-1].Time)
+	d.Events = append(d.Events, e)
+	if !inOrder {
+		return // index now (or already) stale; linear fallback answers
+	}
+	switch e.Type {
+	case TypeCE:
+		if !d.hasCE {
+			d.hasCE, d.firstCE = true, e.Time
+		}
+		d.ces = append(d.ces, e)
+		d.ceTimes = append(d.ceTimes, e.Time)
+	case TypeUE:
+		if !d.hasUE {
+			d.hasUE, d.firstUE = true, e.Time
+		}
+		d.ues = append(d.ues, e)
+	case TypeStorm:
+		d.storms = append(d.storms, e.Time)
+	}
+	d.idxLen = len(d.Events)
+}
 
 // CEs returns the CE events in time order. On an indexed log the slice is
 // cached and shared — callers must treat it as read-only.
@@ -323,13 +372,15 @@ func (s *Store) Register(id DIMMID, part platform.DIMMPart) (*DIMMLog, error) {
 	return l, nil
 }
 
-// Append adds an event to its DIMM's log. The DIMM must be registered.
+// Append adds an event to its DIMM's log via DIMMLog.Append, so a store
+// fed an in-order stream stays fully indexed without re-sorting. The DIMM
+// must be registered.
 func (s *Store) Append(e Event) error {
 	l, ok := s.logs[e.DIMM]
 	if !ok {
 		return fmt.Errorf("trace: event for unregistered DIMM %s", e.DIMM)
 	}
-	l.Events = append(l.Events, e)
+	l.Append(e)
 	s.count(e.Type, 1)
 	return nil
 }
