@@ -4,6 +4,11 @@
 // plus bias), a learned [CLS] token is prepended, the token sequence runs
 // through pre-norm transformer blocks, and a binary head reads the [CLS]
 // representation.
+//
+// Training runs through the tensor package's autodiff graph; scoring
+// (PredictProba and the validation logloss inside Fit) runs through the
+// grad-free inference path in infer.go, which reuses the same kernels and
+// produces bit-identical logits without building a graph.
 package ftt
 
 import (
@@ -27,10 +32,10 @@ type Params struct {
 	Patience    int     // early-stop patience on validation loss (0 = off)
 	Seed        uint64
 	WeightDecay float64
-	// MaxRows caps the training set Fit consumes (0 = no cap): pure-Go
-	// attention is the pipeline's cost center and the learning curve
-	// flattens well before the default cap. Fit keeps the row *prefix*,
-	// so on a pre-shuffled set the cap is an unbiased subsample.
+	// MaxRows caps the training set Fit consumes (0 = no cap): attention
+	// is the pipeline's cost center and the learning curve flattens well
+	// before the default cap. Fit keeps the row *prefix*, so on a
+	// pre-shuffled set the cap is an unbiased subsample.
 	MaxRows int
 }
 
@@ -67,6 +72,11 @@ type Model struct {
 	lngF, lnbF   *tensor.Tensor // final layernorm
 	wHead, bHead *tensor.Tensor
 	params       []*tensor.Tensor
+
+	// scratch is the inference arena pool (infer.go): scoring reuses
+	// these buffers across calls and across concurrent ScoreBatch
+	// goroutines.
+	scratch inferPool
 
 	// epochEnd, when set (tests only), observes each epoch's validation
 	// loss as early stopping sees it.
@@ -118,28 +128,21 @@ func New(nf int, p Params) *Model {
 
 // tokenize builds the [batch*(nf+1), dim] token matrix: CLS followed by
 // per-feature tokens x_f·W_f + B_f, as a fused op with custom backward.
+// The float32 expression (value rounded once, then one mul and one add)
+// is shared verbatim with tokenizeInto on the inference path.
 func (m *Model) tokenize(X [][]float64) *tensor.Tensor {
 	batch := len(X)
 	T := m.nf + 1
 	d := m.p.Dim
 	out := tensor.NewOp(batch*T, d, m.wNum, m.bNum, m.cls)
-	for b := 0; b < batch; b++ {
-		copy(out.Data[(b*T)*d:(b*T+1)*d], m.cls.Data)
-		for f := 0; f < m.nf; f++ {
-			row := out.Data[(b*T+1+f)*d : (b*T+2+f)*d]
-			v := X[b][f]
-			for j := 0; j < d; j++ {
-				row[j] = v*m.wNum.Data[f*d+j] + m.bNum.Data[f*d+j]
-			}
-		}
-	}
+	m.tokenizeInto(out.Data, X)
 	out.SetBack(func() {
 		for b := 0; b < batch; b++ {
 			for j := 0; j < d; j++ {
 				m.cls.Grad[j] += out.Grad[(b*T)*d+j]
 			}
 			for f := 0; f < m.nf; f++ {
-				v := X[b][f]
+				v := float32(X[b][f])
 				base := (b*T + 1 + f) * d
 				for j := 0; j < d; j++ {
 					g := out.Grad[base+j]
@@ -152,7 +155,9 @@ func (m *Model) tokenize(X [][]float64) *tensor.Tensor {
 	return out
 }
 
-// forward computes logits (batch×1) for a raw feature batch.
+// forward computes logits (batch×1) for a raw feature batch through the
+// autodiff graph (training path). Bias adds are fused into the matmuls —
+// numerically identical to separate Add nodes, one graph node cheaper.
 func (m *Model) forward(X [][]float64) *tensor.Tensor {
 	batch := len(X)
 	T := m.nf + 1
@@ -160,17 +165,17 @@ func (m *Model) forward(X [][]float64) *tensor.Tensor {
 	for _, b := range m.blocks {
 		// Pre-norm attention with residual.
 		n1 := tensor.LayerNorm(h, b.ln1g, b.ln1b, 1e-5)
-		q := tensor.Add(tensor.MatMul(n1, b.wq), b.bq)
-		k := tensor.Add(tensor.MatMul(n1, b.wk), b.bk)
-		v := tensor.Add(tensor.MatMul(n1, b.wv), b.bv)
+		q := tensor.MatMulBias(n1, b.wq, b.bq)
+		k := tensor.MatMulBias(n1, b.wk, b.bk)
+		v := tensor.MatMulBias(n1, b.wv, b.bv)
 		att := tensor.Attention(q, k, v, batch, T, m.p.Heads)
-		att = tensor.Add(tensor.MatMul(att, b.wo), b.bo)
+		att = tensor.MatMulBias(att, b.wo, b.bo)
 		h = tensor.Add(h, att)
 		// Pre-norm FFN with residual.
 		n2 := tensor.LayerNorm(h, b.ln2g, b.ln2b, 1e-5)
-		ff := tensor.Add(tensor.MatMul(n2, b.w1), b.b1)
+		ff := tensor.MatMulBias(n2, b.w1, b.b1)
 		ff = tensor.GELU(ff)
-		ff = tensor.Add(tensor.MatMul(ff, b.w2), b.b2)
+		ff = tensor.MatMulBias(ff, b.w2, b.b2)
 		h = tensor.Add(h, ff)
 	}
 	clsRows := make([]int, batch)
@@ -179,7 +184,7 @@ func (m *Model) forward(X [][]float64) *tensor.Tensor {
 	}
 	cls := tensor.Rows(h, clsRows)
 	cls = tensor.LayerNorm(cls, m.lngF, m.lnbF, 1e-5)
-	return tensor.Add(tensor.MatMul(cls, m.wHead), m.bHead)
+	return tensor.MatMulBias(cls, m.wHead, m.bHead)
 }
 
 // Fit trains with Adam and mini-batches; when validation data is provided
@@ -210,7 +215,7 @@ func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error 
 
 	bestVal := math.Inf(1)
 	sinceBest := 0
-	var best [][]float64
+	var best [][]float32
 
 	order := make([]int, len(X))
 	for i := range order {
@@ -233,6 +238,9 @@ func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error 
 			loss := tensor.BCEWithLogits(m.forward(xb), yb, posW)
 			loss.Backward()
 			opt.Step()
+			// Return the step's whole graph (activations, gradients,
+			// retained attention/layernorm scratch) to the buffer pools.
+			tensor.Release(loss)
 		}
 		if len(Xval) > 0 && m.p.Patience > 0 {
 			vl := m.logloss(Xval, yval, posW)
@@ -257,30 +265,33 @@ func (m *Model) Fit(X [][]float64, y []int, Xval [][]float64, yval []int) error 
 	return nil
 }
 
-func snapshot(params []*tensor.Tensor) [][]float64 {
-	out := make([][]float64, len(params))
+func snapshot(params []*tensor.Tensor) [][]float32 {
+	out := make([][]float32, len(params))
 	for i, p := range params {
-		out[i] = append([]float64(nil), p.Data...)
+		out[i] = append([]float32(nil), p.Data...)
 	}
 	return out
 }
 
-func restore(params []*tensor.Tensor, snap [][]float64) {
+func restore(params []*tensor.Tensor, snap [][]float32) {
 	for i, p := range params {
 		copy(p.Data, snap[i])
 	}
 }
 
+// logloss computes the weighted validation loss through the grad-free
+// inference path (the logits are bit-identical to the training forward).
 func (m *Model) logloss(X [][]float64, y []int, posW float64) float64 {
 	total := 0.0
-	for s := 0; s < len(X); s += 256 {
-		e := s + 256
+	logits := make([]float64, 0, inferChunk)
+	for s := 0; s < len(X); s += inferChunk {
+		e := s + inferChunk
 		if e > len(X) {
 			e = len(X)
 		}
-		logits := m.forward(X[s:e])
-		for i := 0; i < e-s; i++ {
-			p := 1 / (1 + math.Exp(-logits.Data[i]))
+		logits = m.inferLogits(X[s:e], logits[:0])
+		for i, z := range logits {
+			p := 1 / (1 + math.Exp(-z))
 			if y[s+i] == 1 {
 				total += -posW * math.Log(math.Max(p, 1e-12))
 			} else {
@@ -291,17 +302,19 @@ func (m *Model) logloss(X [][]float64, y []int, posW float64) float64 {
 	return total / float64(len(X))
 }
 
-// PredictProba returns class-1 probabilities for a batch.
+// PredictProba returns class-1 probabilities for a batch. Safe for
+// concurrent use: each call borrows its own inference arena.
 func (m *Model) PredictProba(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for s := 0; s < len(X); s += 256 {
-		e := s + 256
+	logits := make([]float64, 0, inferChunk)
+	for s := 0; s < len(X); s += inferChunk {
+		e := s + inferChunk
 		if e > len(X) {
 			e = len(X)
 		}
-		logits := m.forward(X[s:e])
-		for i := 0; i < e-s; i++ {
-			out[s+i] = 1 / (1 + math.Exp(-logits.Data[i]))
+		logits = m.inferLogits(X[s:e], logits[:0])
+		for i, z := range logits {
+			out[s+i] = 1 / (1 + math.Exp(-z))
 		}
 	}
 	return out

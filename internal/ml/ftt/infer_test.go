@@ -1,0 +1,80 @@
+package ftt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"memfp/internal/xrand"
+)
+
+// randModel builds an untrained (randomly initialized) model plus a
+// feature matrix sized to exercise several inference chunks.
+func randModel(t *testing.T, rows int) (*Model, [][]float64) {
+	t.Helper()
+	p := DefaultParams()
+	m := New(12, p)
+	rng := xrand.New(3)
+	X := make([][]float64, rows)
+	for i := range X {
+		X[i] = make([]float64, 12)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+	}
+	return m, X
+}
+
+// TestInferMatchesForward pins the grad-free inference path (infer.go —
+// arena scratch, CLS-only last layer) to the autodiff graph forward, bit
+// for bit: both paths must share one kernel per op, so any divergence
+// means the CLS truncation or an Into kernel broke the spec.
+func TestInferMatchesForward(t *testing.T) {
+	m, X := randModel(t, 517) // odd size: chunks of 256, 256, 5
+	var fast []float64
+	for lo := 0; lo < len(X); lo += inferChunk {
+		hi := lo + inferChunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		fast = m.inferLogits(X[lo:hi], fast)
+	}
+	graph := m.forward(X)
+	if graph.Rows != len(X) || graph.Cols != 1 {
+		t.Fatalf("graph forward returned %dx%d", graph.Rows, graph.Cols)
+	}
+	for i := range X {
+		want := float64(graph.Data[i])
+		if math.Float64bits(fast[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: infer logit %v != graph logit %v", i, fast[i], want)
+		}
+	}
+}
+
+// TestSerializeRoundTrip checks that Encode→Decode reproduces the exact
+// scores (float32 weights serialize losslessly as JSON numbers).
+func TestSerializeRoundTrip(t *testing.T) {
+	m, X := randModel(t, 64)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	m2, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	a := m.PredictProba(X)
+	b := m2.PredictProba(X)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("row %d: %v != %v after round trip", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDecodeRejectsUnknownFormat guards the format gate.
+func TestDecodeRejectsUnknownFormat(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString(`{"format":"bogus"}`)); err == nil {
+		t.Fatal("decode accepted an unknown format")
+	}
+}

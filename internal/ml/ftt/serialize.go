@@ -14,10 +14,17 @@ type modelJSON struct {
 	Format  string      `json:"format"`
 	NF      int         `json:"nf"`
 	Params  Params      `json:"params"`
-	Tensors [][]float64 `json:"tensors"`
+	Tensors [][]float32 `json:"tensors"`
 }
 
-const formatName = "memfp-ftt-v1"
+// formatName is the current (float32 weights) format; formatNameV1 is
+// the float64 predecessor, still decodable — its JSON numbers parse into
+// float32 with one rounding, matching what the float32 kernels would
+// compute from those weights anyway.
+const (
+	formatName   = "memfp-ftt-v2"
+	formatNameV1 = "memfp-ftt-v1"
+)
 
 // Encode writes the model as JSON.
 func (m *Model) Encode(w io.Writer) error {
@@ -28,13 +35,13 @@ func (m *Model) Encode(w io.Writer) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
-// Decode loads a model written by Encode.
+// Decode loads a model written by Encode (current or v1 format).
 func Decode(r io.Reader) (*Model, error) {
 	var in modelJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("ftt: decode: %w", err)
 	}
-	if in.Format != formatName {
+	if in.Format != formatName && in.Format != formatNameV1 {
 		return nil, fmt.Errorf("ftt: unknown model format %q", in.Format)
 	}
 	p := in.Params

@@ -3,6 +3,10 @@ package tensor
 import "math"
 
 // Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter list.
+// Parameters are float32 but the moment estimates and the update
+// arithmetic stay float64: the optimizer runs once per step over a few
+// thousand scalars, so precision is free here, and only the final
+// parameter value rounds to float32.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 	WeightDecay           float64
@@ -31,13 +35,14 @@ func (a *Adam) Step() {
 			continue
 		}
 		m, v := a.m[pi], a.v[pi]
-		for i, g := range p.Grad {
+		for i, gf := range p.Grad {
+			g := float64(gf)
 			if a.WeightDecay > 0 {
-				g += a.WeightDecay * p.Data[i]
+				g += a.WeightDecay * float64(p.Data[i])
 			}
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
 			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			p.Data[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+			p.Data[i] = float32(float64(p.Data[i]) - a.LR*(m[i]/bc1)/(math.Sqrt(v[i]/bc2)+a.Eps))
 		}
 	}
 }

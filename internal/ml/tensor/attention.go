@@ -12,6 +12,11 @@ import (
 // h, it computes softmax(Q_bh·K_bhᵀ/√dh)·V_bh and writes the heads back
 // side by side, returning [batch*T, H*dh]. Fusing the whole block keeps
 // the autodiff engine strictly 2-D.
+//
+// The post-softmax probabilities are retained in one pooled buffer only
+// when a parent requires gradients; the grad-free case streams a single
+// scratch row per worker instead (the serving path goes further and
+// skips the graph entirely — see infer.go).
 func Attention(q, k, v *Tensor, batch, T, heads int) *Tensor {
 	if q.Rows != batch*T || k.Rows != batch*T || v.Rows != batch*T {
 		panic(fmt.Sprintf("tensor: attention rows %d/%d/%d want %d", q.Rows, k.Rows, v.Rows, batch*T))
@@ -20,125 +25,46 @@ func Attention(q, k, v *Tensor, batch, T, heads int) *Tensor {
 		panic("tensor: attention column mismatch")
 	}
 	dh := q.Cols / heads
-	scale := 1 / math.Sqrt(float64(dh))
-	out := child(batch*T, q.Cols, q, k, v)
+	C := q.Cols
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	out := child(batch*T, C, q, k, v)
 
-	// attn[b][h] is the T×T post-softmax matrix, retained for backward.
-	attn := make([][]float64, batch*heads)
-	for bh := range attn {
-		attn[bh] = make([]float64, T*T)
+	var probs []float32
+	if out.requires {
+		probs = getF32(batch * heads * T * T)
+		out.scratch = func() { putF32(probs) }
+	}
+	if Oracle {
+		refAttnForward(out.Data, q.Data, k.Data, v.Data, batch, T, T, heads, dh, C, scale, probs)
+	} else {
+		parallelRows(batch, heads*T*(T+2*dh), func(bLo, bHi int) {
+			attnForwardRange(out.Data, q.Data, k.Data, v.Data, bLo, bHi, T, T, heads, dh, C, scale, probs)
+		})
 	}
 
-	idx := func(b, t, h, d int) int { return (b*T+t)*q.Cols + h*dh + d }
-	parallelRows(batch, heads*T*T*dh, func(bLo, bHi int) {
-		forwardBatch(q, k, v, out, attn, bLo, bHi, T, heads, dh, scale, idx)
-	})
-
 	out.back = func() {
-		needQ, needK, needV := q.requires, k.requires, v.requires
-		if needQ {
+		var qG, kG, vG []float32
+		if q.requires {
 			q.ensureGrad()
+			qG = q.Grad
 		}
-		if needK {
+		if k.requires {
 			k.ensureGrad()
+			kG = k.Grad
 		}
-		if needV {
+		if v.requires {
 			v.ensureGrad()
+			vG = v.Grad
+		}
+		if Oracle {
+			refAttnBackward(qG, kG, vG, out.Grad, q.Data, k.Data, v.Data, probs, batch, T, heads, dh, C, scale)
+			return
 		}
 		// Each batch element touches only its own gradient rows, so
 		// batch-parallel backward is race-free and deterministic.
-		parallelRows(batch, heads*T*T*dh, func(bLo, bHi int) {
-			backwardBatch(q, k, v, out, attn, bLo, bHi, T, heads, dh, scale, idx, needQ, needK, needV)
+		parallelRows(batch, heads*T*(3*T+4*dh), func(bLo, bHi int) {
+			attnBackwardRange(qG, kG, vG, out.Grad, q.Data, k.Data, v.Data, probs, bLo, bHi, T, heads, dh, C, scale)
 		})
 	}
 	return out
-}
-
-// forwardBatch computes attention outputs for batch elements [bLo, bHi).
-func forwardBatch(q, k, v, out *Tensor, attn [][]float64, bLo, bHi, T, heads, dh int,
-	scale float64, idx func(b, t, h, d int) int) {
-	for b := bLo; b < bHi; b++ {
-		for h := 0; h < heads; h++ {
-			a := attn[b*heads+h]
-			for i := 0; i < T; i++ {
-				// scores
-				maxv := math.Inf(-1)
-				for j := 0; j < T; j++ {
-					s := 0.0
-					for d := 0; d < dh; d++ {
-						s += q.Data[idx(b, i, h, d)] * k.Data[idx(b, j, h, d)]
-					}
-					s *= scale
-					a[i*T+j] = s
-					if s > maxv {
-						maxv = s
-					}
-				}
-				// softmax
-				sum := 0.0
-				for j := 0; j < T; j++ {
-					e := math.Exp(a[i*T+j] - maxv)
-					a[i*T+j] = e
-					sum += e
-				}
-				for j := 0; j < T; j++ {
-					a[i*T+j] /= sum
-				}
-				// output
-				for d := 0; d < dh; d++ {
-					o := 0.0
-					for j := 0; j < T; j++ {
-						o += a[i*T+j] * v.Data[idx(b, j, h, d)]
-					}
-					out.Data[idx(b, i, h, d)] = o
-				}
-			}
-		}
-	}
-}
-
-// backwardBatch accumulates attention gradients for batch elements
-// [bLo, bHi).
-func backwardBatch(q, k, v, out *Tensor, attn [][]float64, bLo, bHi, T, heads, dh int,
-	scale float64, idx func(b, t, h, d int) int, needQ, needK, needV bool) {
-	dA := make([]float64, T*T)
-	for b := bLo; b < bHi; b++ {
-		for h := 0; h < heads; h++ {
-			a := attn[b*heads+h]
-			// dV and dA
-			for i := 0; i < T; i++ {
-				for j := 0; j < T; j++ {
-					s := 0.0
-					for d := 0; d < dh; d++ {
-						g := out.Grad[idx(b, i, h, d)]
-						if needV {
-							v.Grad[idx(b, j, h, d)] += a[i*T+j] * g
-						}
-						s += g * v.Data[idx(b, j, h, d)]
-					}
-					dA[i*T+j] = s
-				}
-			}
-			// softmax backward: dS = A ⊙ (dA − rowsum(dA ⊙ A))
-			for i := 0; i < T; i++ {
-				dot := 0.0
-				for j := 0; j < T; j++ {
-					dot += dA[i*T+j] * a[i*T+j]
-				}
-				for j := 0; j < T; j++ {
-					dS := a[i*T+j] * (dA[i*T+j] - dot) * scale
-					if needQ {
-						for d := 0; d < dh; d++ {
-							q.Grad[idx(b, i, h, d)] += dS * k.Data[idx(b, j, h, d)]
-						}
-					}
-					if needK {
-						for d := 0; d < dh; d++ {
-							k.Grad[idx(b, j, h, d)] += dS * q.Data[idx(b, i, h, d)]
-						}
-					}
-				}
-			}
-		}
-	}
 }

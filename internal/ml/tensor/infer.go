@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grad-free inference entry points. These are the same kernels the graph
+// ops run — same floating-point specification, bit-identical outputs —
+// exposed as plain slice-in/slice-out calls with no graph nodes, no
+// backward closures and no retained state, for callers (the ftt serving
+// fast path) that drive an arena of reused scratch buffers. All honor
+// the SetWorkers/Oracle toggles; with the default serving configuration
+// (workers pinned to 1) they run fully inline, so concurrent shard
+// goroutines can call them without oversubscribing the CPU.
+
+// LinearInto writes dst = x·w (+ bias), where x is m×k, w is k×n and
+// bias (optional) is length n. dst must have m*n capacity ahead of len
+// semantics: exactly m*n elements are written.
+func LinearInto(dst, x, w, bias []float32, m, k, n int) {
+	if len(dst) < m*n || len(x) < m*k || len(w) < k*n {
+		panic(fmt.Sprintf("tensor: LinearInto shape mismatch m=%d k=%d n=%d", m, k, n))
+	}
+	matmul(dst, x, w, m, k, n, false, false, bias, false)
+}
+
+// LayerNormInto writes dst = layernorm(x)·gamma + beta over rows×cols,
+// discarding the normalization statistics.
+func LayerNormInto(dst, x, gamma, beta []float32, rows, cols int, eps float64) {
+	xhat := getF32(rows * cols)
+	invstd := getF32(rows)
+	if Oracle {
+		refLayerNormForward(dst, x, gamma, beta, xhat, invstd, rows, cols, eps)
+	} else {
+		parallelRows(rows, cols*8, func(lo, hi int) {
+			lnForwardRange(dst, x, gamma, beta, xhat, invstd, cols, eps, lo, hi)
+		})
+	}
+	putF32(xhat)
+	putF32(invstd)
+}
+
+// GELUInPlace applies the scalar GELU used by the training op to every
+// element of x.
+func GELUInPlace(x []float32) {
+	parallelRows(len(x), 16, func(lo, hi int) {
+		geluFwdSlice(x[lo:hi], x[lo:hi])
+	})
+}
+
+// AddInto writes dst[i] = a[i] + b[i] elementwise.
+func AddInto(dst, a, b []float32) {
+	for i, v := range a {
+		dst[i] = v + b[i]
+	}
+}
+
+// AttentionInto computes multi-head attention with q holding batch*Tq
+// query rows against k, v holding batch*T key/value rows (all [·, H*dh]
+// row-major with C = heads*dh columns). Tq < T is the truncated-query
+// form: the inference path scores only each sequence's CLS query, which
+// is exact for the CLS output rows because attention is independent per
+// query row. out receives batch*Tq rows; probabilities are streamed, not
+// retained.
+func AttentionInto(out, q, k, v []float32, batch, Tq, T, heads, dh int) {
+	C := heads * dh
+	if len(out) < batch*Tq*C || len(q) < batch*Tq*C || len(k) < batch*T*C || len(v) < batch*T*C {
+		panic(fmt.Sprintf("tensor: AttentionInto shape mismatch batch=%d Tq=%d T=%d C=%d", batch, Tq, T, C))
+	}
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	if Oracle {
+		refAttnForward(out, q, k, v, batch, Tq, T, heads, dh, C, scale, nil)
+		return
+	}
+	parallelRows(batch, heads*Tq*(T+2*dh), func(bLo, bHi int) {
+		attnForwardRange(out, q, k, v, bLo, bHi, Tq, T, heads, dh, C, scale, nil)
+	})
+}
+
+// GetScratch hands out a pooled float32 buffer of length n with
+// UNDEFINED contents; PutScratch recycles it. Inference arenas use these
+// so repeated ScoreBatch calls allocate nothing in steady state.
+func GetScratch(n int) []float32 { return getF32(n) }
+
+// PutScratch recycles a buffer obtained from GetScratch.
+func PutScratch(s []float32) { putF32(s) }

@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"memfp/internal/xrand"
+)
+
+// The oracle property tests pin the package's determinism contract: the
+// fast kernels (tiled, register-blocked, SIMD on amd64, parallel) must
+// produce the SAME BITS as the naive reference kernels in reference.go,
+// for forward values and for gradients, at every worker count. Shapes
+// are randomized and include odd tile remainders, T=1 and heads=1.
+
+func randFill(t *Tensor, rng *xrand.RNG) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func bitsOf(x []float32) []uint32 {
+	out := make([]uint32, len(x))
+	for i, v := range x {
+		out[i] = math.Float32bits(v)
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, label string, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d differs: %08x vs %08x (%g vs %g)",
+				label, i, got[i], want[i],
+				math.Float32frombits(got[i]), math.Float32frombits(want[i]))
+		}
+	}
+}
+
+// TestMatmulOracleBitwise drives the internal matmul dispatcher over
+// randomized shapes — including every ta/tb/bias/accum combination and
+// dimensions that leave 16-, 4- and 1-wide tile remainders — and
+// requires the fast kernel's output to match the reference bit for bit.
+func TestMatmulOracleBitwise(t *testing.T) {
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 12, 13, 16, 17, 31, 32, 33, 48}
+	rng := xrand.New(11)
+	for trial := 0; trial < 300; trial++ {
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		ta := rng.Bool(0.5)
+		tb := rng.Bool(0.5)
+		accum := rng.Bool(0.5)
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		cInit := make([]float32, m*n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(rng.NormFloat64())
+		}
+		for i := range cInit {
+			cInit[i] = float32(rng.NormFloat64())
+		}
+		var bias []float32
+		if rng.Bool(0.5) {
+			bias = make([]float32, n)
+			for i := range bias {
+				bias[i] = float32(rng.NormFloat64())
+			}
+		}
+		cFast := append([]float32(nil), cInit...)
+		cRef := append([]float32(nil), cInit...)
+		matmul(cFast, a, b, m, k, n, ta, tb, bias, accum)
+		Oracle = true
+		matmul(cRef, a, b, m, k, n, ta, tb, bias, accum)
+		Oracle = false
+		if got, want := bitsOf(cFast), bitsOf(cRef); true {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (m=%d k=%d n=%d ta=%v tb=%v bias=%v accum=%v): element %d: %g vs %g",
+						trial, m, k, n, ta, tb, bias != nil, accum, i,
+						cFast[i], cRef[i])
+				}
+			}
+		}
+	}
+}
+
+// attnShape is one randomized attention/layernorm graph configuration.
+type attnShape struct {
+	batch, T, heads, dh int
+}
+
+// runAttnGraph builds attention → layernorm → matmul(+bias) → GELU over
+// fixed pseudo-random inputs, runs forward and backward, and returns the
+// bits of the output and of every parameter gradient.
+func runAttnGraph(s attnShape) []uint32 {
+	C := s.heads * s.dh
+	rng := xrand.New(99)
+	q := randFill(New(s.batch*s.T, C), rng).Param()
+	k := randFill(New(s.batch*s.T, C), rng).Param()
+	v := randFill(New(s.batch*s.T, C), rng).Param()
+	gamma := randFill(New(1, C), rng).Param()
+	beta := randFill(New(1, C), rng).Param()
+	w := randFill(New(C, 5), rng).Param() // n=5 leaves a 1-wide tile tail
+	bias := randFill(New(1, 5), rng).Param()
+	params := []*Tensor{q, k, v, gamma, beta, w, bias}
+
+	att := Attention(q, k, v, s.batch, s.T, s.heads)
+	ln := LayerNorm(att, gamma, beta, 1e-5)
+	out := GELU(MatMulBias(ln, w, bias))
+	loss := sumAll(out)
+	loss.Backward()
+
+	var all []uint32
+	all = append(all, bitsOf(out.Data)...)
+	for _, p := range params {
+		all = append(all, bitsOf(p.Grad)...)
+	}
+	return all
+}
+
+// TestAttentionLayerNormOracleBitwise checks fast-vs-reference bitwise
+// equality of forward outputs AND gradients for full graphs over shapes
+// that include T=1, heads=1, and odd head dims.
+func TestAttentionLayerNormOracleBitwise(t *testing.T) {
+	shapes := []attnShape{
+		{batch: 1, T: 1, heads: 1, dh: 1},
+		{batch: 2, T: 1, heads: 2, dh: 3},
+		{batch: 3, T: 5, heads: 1, dh: 4},
+		{batch: 2, T: 13, heads: 2, dh: 8},
+		{batch: 1, T: 7, heads: 3, dh: 5},
+		{batch: 4, T: 3, heads: 4, dh: 2},
+	}
+	for _, s := range shapes {
+		fast := runAttnGraph(s)
+		Oracle = true
+		ref := runAttnGraph(s)
+		Oracle = false
+		bitsEqual(t, "fast vs oracle", fast, ref)
+	}
+}
+
+// TestWorkerCountBitwise runs the same graph at worker counts 1, 2 and 8
+// and requires identical bits everywhere: parallel chunking must never
+// change an output element's accumulation chain.
+func TestWorkerCountBitwise(t *testing.T) {
+	s := attnShape{batch: 3, T: 13, heads: 2, dh: 8}
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	base := runAttnGraph(s)
+	for _, w := range []int{2, 8} {
+		SetWorkers(w)
+		got := runAttnGraph(s)
+		bitsEqual(t, "workers", got, base)
+	}
+}
+
+// TestWorkerCountBitwiseOracle pins that the reference kernels are
+// scheduling-independent too (they are serial, so any difference would
+// mean the toggle leaks state).
+func TestWorkerCountBitwiseOracle(t *testing.T) {
+	s := attnShape{batch: 2, T: 5, heads: 2, dh: 4}
+	Oracle = true
+	defer func() { Oracle = false }()
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	base := runAttnGraph(s)
+	SetWorkers(8)
+	got := runAttnGraph(s)
+	bitsEqual(t, "oracle workers", got, base)
+}
+
+// TestFexp4MatchesScalar pins the 4-lane transcendental helpers to the
+// scalar spec functions, lane by lane and bit for bit, across normal,
+// clamped, tiny and boundary inputs.
+func TestFexp4MatchesScalar(t *testing.T) {
+	inputs := []float32{
+		0, 1, -1, 0.5, -0.5, 88, -103, 200, -200, 9, -9, 9.0001, -9.0001,
+		1e-8, -1e-8, 3.14159, -2.71828, 42.5, -88.7, 13,
+	}
+	rng := xrand.New(5)
+	for i := 0; i < 256; i++ {
+		inputs = append(inputs, float32((rng.Float64()-0.5)*260))
+	}
+	for i := 0; i+4 <= len(inputs); i += 4 {
+		x0, x1, x2, x3 := inputs[i], inputs[i+1], inputs[i+2], inputs[i+3]
+		e0, e1, e2, e3 := fexp4(x0, x1, x2, x3)
+		for j, pair := range [][2]float32{{x0, e0}, {x1, e1}, {x2, e2}, {x3, e3}} {
+			if want := fexp32(pair[0]); math.Float32bits(pair[1]) != math.Float32bits(want) {
+				t.Errorf("fexp4 lane %d at %g: %g vs scalar %g", j, pair[0], pair[1], want)
+			}
+		}
+		t0, t1, t2, t3 := ftanh4(x0, x1, x2, x3)
+		for j, pair := range [][2]float32{{x0, t0}, {x1, t1}, {x2, t2}, {x3, t3}} {
+			if want := ftanh32(pair[0]); math.Float32bits(pair[1]) != math.Float32bits(want) {
+				t.Errorf("ftanh4 lane %d at %g: %g vs scalar %g", j, pair[0], pair[1], want)
+			}
+		}
+	}
+}
+
+// TestFexpAccuracy bounds the frozen approximations against libm: the
+// spec trades a few float32 ulps for determinism, not real accuracy.
+func TestFexpAccuracy(t *testing.T) {
+	rng := xrand.New(17)
+	for i := 0; i < 4096; i++ {
+		x := (rng.Float64() - 0.5) * 170
+		got := float64(fexp32(float32(x)))
+		want := math.Exp(float64(float32(x)))
+		if want == 0 || math.IsInf(want, 0) {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-5 {
+			t.Fatalf("fexp32(%g): rel err %g", x, rel)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		x := (rng.Float64() - 0.5) * 24
+		got := float64(ftanh32(float32(x)))
+		want := math.Tanh(float64(float32(x)))
+		if diff := math.Abs(got - want); diff > 1e-5 {
+			t.Fatalf("ftanh32(%g): abs err %g", x, diff)
+		}
+	}
+}
+
+// TestGELUSliceMatchesScalar pins the 4-lane GELU slice helpers to the
+// scalar geluFwd/geluBwd, including odd-length tails.
+func TestGELUSliceMatchesScalar(t *testing.T) {
+	rng := xrand.New(23)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 64, 65} {
+		src := make([]float32, n)
+		g := make([]float32, n)
+		acc := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 3)
+			g[i] = float32(rng.NormFloat64())
+			acc[i] = float32(rng.NormFloat64())
+		}
+		dst := make([]float32, n)
+		geluFwdSlice(dst, src)
+		for i := range src {
+			if want := geluFwd(src[i]); math.Float32bits(dst[i]) != math.Float32bits(want) {
+				t.Fatalf("geluFwdSlice n=%d elem %d: %g vs %g", n, i, dst[i], want)
+			}
+		}
+		accFast := append([]float32(nil), acc...)
+		geluBwdSlice(accFast, src, g)
+		for i := range src {
+			want := acc[i] + geluBwd(src[i])*g[i]
+			if math.Float32bits(accFast[i]) != math.Float32bits(want) {
+				t.Fatalf("geluBwdSlice n=%d elem %d: %g vs %g", n, i, accFast[i], want)
+			}
+		}
+	}
+}

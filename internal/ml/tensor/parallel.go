@@ -1,36 +1,40 @@
 package tensor
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
+
+	"memfp/internal/par"
 )
 
-// parallelRows runs fn over [0, rows) split into contiguous chunks on
-// multiple goroutines when the work (rows × workPerRow) is large enough to
-// amortize the scheduling cost. Chunks write disjoint output rows, so the
-// result is identical to the serial execution.
+// workers is the package-wide worker-count knob consumed by parallelRows.
+// 0 (the default) means one worker per CPU.
+var workers atomic.Int32
+
+// SetWorkers pins the number of workers kernel fan-outs may use (0
+// restores the GOMAXPROCS default) and returns the previous setting.
+// Kernel results are bit-identical for every worker count — the oracle
+// tests pin {1, 2, 8} and compare bytes — so this knob only trades
+// parallelism, never numerics. With 1, kernels run fully inline with zero
+// synchronization (the grad-free serving path relies on this to nest
+// inside the engine's shard workers without oversubscription).
+func SetWorkers(n int) int {
+	prev := int(workers.Swap(int32(n)))
+	return prev
+}
+
+// parallelRows fans fn out over [0, rows) in contiguous chunks through
+// internal/par's shared resident worker pool. The chunk size depends only
+// on the per-row work estimate — never on the worker count — which is
+// half of the determinism contract; the other half is that kernels write
+// disjoint rows per chunk.
 func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
 	const minWork = 1 << 15
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
+	if workPerRow < 1 {
+		workPerRow = 1
 	}
-	if workers <= 1 || rows*workPerRow < minWork {
-		fn(0, rows)
-		return
+	chunk := minWork / workPerRow
+	if chunk < 1 {
+		chunk = 1
 	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.ForEachChunk(int(workers.Load()), rows, chunk, fn)
 }

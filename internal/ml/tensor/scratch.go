@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed buffer pools. Kernel scratch (packed matmul panels,
+// attention probability matrices, layernorm statistics) and graph
+// intermediates (every child tensor's Data/Grad) are recycled here so a
+// training step or a serving tick performs no steady-state allocation.
+//
+// Buffers come back DIRTY: every consumer must fully overwrite (or
+// explicitly zero) what it takes. getF32zero is the helper for buffers
+// that accumulate.
+
+const maxPoolClass = 25 // up to 2^25 floats (128 MiB) per buffer
+
+var f32Pools [maxPoolClass + 1]sync.Pool
+
+// sizeClass returns the pool index for a capacity: the smallest c with
+// 2^c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getF32 returns a length-n float32 buffer with UNDEFINED contents.
+func getF32(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c > maxPoolClass {
+		return make([]float32, n)
+	}
+	if v := f32Pools[c].Get(); v != nil {
+		return (*v.(*[]float32))[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// getF32zero returns a length-n zeroed float32 buffer.
+func getF32zero(n int) []float32 {
+	s := getF32(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// putF32 recycles a buffer obtained from getF32. Safe to call with nil
+// or with foreign slices (non-power-of-two capacity buffers are dropped).
+func putF32(s []float32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := sizeClass(c)
+	if cls > maxPoolClass {
+		return
+	}
+	s = s[:c]
+	f32Pools[cls].Put(&s)
+}
+
+// Release walks the autodiff graph rooted at t and returns every pooled
+// intermediate's Data/Grad buffer (and per-op scratch such as retained
+// attention probabilities) to the buffer pools. Parameters and other
+// caller-owned tensors are untouched. Call it once per training step
+// after Adam consumes the gradients; the released tensors must not be
+// used again.
+func Release(t *Tensor) {
+	seen := map[*Tensor]bool{}
+	var walk func(*Tensor)
+	walk = func(n *Tensor) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, p := range n.prev {
+			walk(p)
+		}
+		if n.scratch != nil {
+			n.scratch()
+			n.scratch = nil
+		}
+		if n.pooled {
+			putF32(n.Data)
+			putF32(n.Grad)
+			n.Data, n.Grad = nil, nil
+			n.pooled = false
+		}
+		n.back = nil
+		n.prev = nil
+	}
+	walk(t)
+}

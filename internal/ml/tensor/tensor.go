@@ -1,8 +1,38 @@
 // Package tensor is a small reverse-mode automatic-differentiation engine
-// over dense row-major float64 matrices — just enough to train the
+// over dense row-major float32 matrices — just enough to train the
 // FT-Transformer of §VI from scratch with stdlib only. All tensors are 2-D
 // ([rows × cols]); batched attention is provided as a fused operator so
 // the graph never needs higher-rank shapes.
+//
+// # Kernels and the determinism recipe
+//
+// The hot operators (matmul, attention, layernorm) run through tiled
+// float32 kernels (kernels.go, with an SSE2 micro-kernel on amd64) built
+// on one floating-point specification: every output element is produced
+// by a single float32 accumulation chain — seeded with the bias term
+// when the op has one — over its reduction index in ascending order,
+// followed by at most one rounding step per post-op (softmax scale,
+// gradient accumulate). Parallelism only ever splits work ACROSS output
+// elements — chunk boundaries depend on the problem shape alone
+// (parallel.go) — and tiling/register-blocking/SIMD lanes only reorder
+// independent elements, never an element's own chain. Nonlinearities go
+// through the frozen fexp32 / ftanh32 helpers (fexp.go) rather than
+// libm. Consequently kernel output is bit-identical for every worker
+// count and bit-identical between the fast kernels and the naive
+// reference implementations retained in reference.go; the oracle
+// property tests enforce both, and SetWorkers / Oracle are the knobs
+// they use.
+//
+// # Training vs inference
+//
+// The graph ops below are the training path: they record parents and
+// backward closures, and retain whatever the backward needs (attention
+// probabilities, layernorm statistics). Intermediate buffers come from
+// the size-classed pools in scratch.go; Release returns a step's whole
+// graph to the pools. The grad-free inference path (infer.go) exposes the
+// same kernels as plain slice-in/slice-out calls — no graph, no retained
+// state — which is what ftt.Model's ScoreBatch fast path drives; because
+// both paths share one kernel per op, their outputs match bitwise.
 package tensor
 
 import (
@@ -15,20 +45,22 @@ import (
 // Tensor is a matrix node in the autodiff graph.
 type Tensor struct {
 	Rows, Cols int
-	Data       []float64
-	Grad       []float64
+	Data       []float32
+	Grad       []float32
 	requires   bool
 	back       func()
 	prev       []*Tensor
+	pooled     bool   // Data/Grad came from the buffer pools (Release reclaims)
+	scratch    func() // returns op-retained scratch to the pools
 }
 
-// New allocates a zero matrix.
+// New allocates a zero matrix (caller-owned, never pooled).
 func New(rows, cols int) *Tensor {
-	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
 // FromSlice wraps row-major data (not copied).
-func FromSlice(rows, cols int, data []float64) *Tensor {
+func FromSlice(rows, cols int, data []float32) *Tensor {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: %d values for %dx%d", len(data), rows, cols))
 	}
@@ -38,7 +70,7 @@ func FromSlice(rows, cols int, data []float64) *Tensor {
 // Param marks the tensor as trainable (gradients accumulate).
 func (t *Tensor) Param() *Tensor {
 	t.requires = true
-	t.Grad = make([]float64, len(t.Data))
+	t.Grad = make([]float32, len(t.Data))
 	return t
 }
 
@@ -46,21 +78,29 @@ func (t *Tensor) Param() *Tensor {
 func (t *Tensor) RequiresGrad() bool { return t.requires }
 
 // At returns element (i, j).
-func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+func (t *Tensor) At(i, j int) float32 { return t.Data[i*t.Cols+j] }
 
 // Set assigns element (i, j).
-func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+func (t *Tensor) Set(i, j int, v float32) { t.Data[i*t.Cols+j] = v }
 
-// ensureGrad lazily allocates the gradient buffer.
+// ensureGrad lazily allocates the gradient buffer (zeroed — pooled
+// buffers come back dirty).
 func (t *Tensor) ensureGrad() {
-	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+	if t.Grad != nil {
+		return
+	}
+	if t.pooled {
+		t.Grad = getF32zero(len(t.Data))
+	} else {
+		t.Grad = make([]float32, len(t.Data))
 	}
 }
 
-// child builds a result tensor wired into the graph.
+// child builds a result tensor wired into the graph. Its Data comes from
+// the buffer pools with UNDEFINED contents: every operator must fully
+// overwrite it.
 func child(rows, cols int, parents ...*Tensor) *Tensor {
-	out := New(rows, cols)
+	out := &Tensor{Rows: rows, Cols: cols, Data: getF32(rows * cols), pooled: true}
 	for _, p := range parents {
 		if p.requires {
 			out.requires = true
@@ -73,7 +113,8 @@ func child(rows, cols int, parents ...*Tensor) *Tensor {
 
 // NewOp creates a graph node with the given parents, for fused custom
 // operators defined outside this package (e.g. a feature tokenizer).
-// The caller fills Data and installs the backward with SetBack.
+// The caller must fully overwrite Data (it is pooled and arrives dirty)
+// and installs the backward with SetBack.
 func NewOp(rows, cols int, parents ...*Tensor) *Tensor {
 	return child(rows, cols, parents...)
 }
@@ -119,67 +160,71 @@ func (t *Tensor) ZeroGrad() {
 }
 
 // MatMul returns a·b.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul(a, b *Tensor) *Tensor { return matmulNode(a, b, nil) }
+
+// MatMulBias returns a·b + bias (bias is 1×cols, broadcast over rows),
+// fused so the graph skips a full-size Add node. Per the kernel spec the
+// bias seeds each element's accumulation chain (the micro-kernel
+// preloads it into the accumulator register), so the result differs from
+// Add(MatMul(a, b), bias) only in rounding order — and matches the
+// reference kernel bitwise.
+func MatMulBias(a, b, bias *Tensor) *Tensor {
+	if bias.Rows != 1 || bias.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul bias %dx%d for %d columns", bias.Rows, bias.Cols, b.Cols))
+	}
+	return matmulNode(a, b, bias)
+}
+
+func matmulNode(a, b, bias *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := child(a.Rows, b.Cols, a, b)
-	matmulInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, false, false)
+	parents := []*Tensor{a, b}
+	if bias != nil {
+		parents = append(parents, bias)
+	}
+	out := child(a.Rows, b.Cols, parents...)
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data
+	}
+	matmul(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, false, false, biasData, false)
 	out.back = func() {
 		if a.requires {
 			a.ensureGrad()
-			// dA += dOut · Bᵀ
-			matmulAccum(a.Grad, out.Grad, b.Data, a.Rows, b.Cols, a.Cols, false, true)
+			// dA += dOut · Bᵀ (b stored k×n is already the packed panel
+			// layout for the transposed operand).
+			matmul(a.Grad, out.Grad, b.Data, a.Rows, b.Cols, a.Cols, false, true, nil, true)
 		}
 		if b.requires {
 			b.ensureGrad()
 			// dB += Aᵀ · dOut
-			matmulAccum(b.Grad, a.Data, out.Grad, a.Cols, a.Rows, b.Cols, true, false)
+			matmul(b.Grad, a.Data, out.Grad, a.Cols, a.Rows, b.Cols, true, false, nil, true)
+		}
+		if bias != nil && bias.requires {
+			bias.ensureGrad()
+			// dBias += column sums of dOut, rows in ascending order.
+			n := out.Cols
+			for i := 0; i < out.Rows; i++ {
+				g := out.Grad[i*n : (i+1)*n]
+				for j, gv := range g {
+					bias.Grad[j] += gv
+				}
+			}
 		}
 	}
 	return out
 }
 
-// matmulInto computes c = a·b with optional transposes, overwriting c.
-func matmulInto(c, a, b []float64, m, k, n int, ta, tb bool) {
-	for i := range c {
-		c[i] = 0
+// matmul dispatches c (+)= op(a)·op(b) (+ bias) to the tiled kernel or,
+// under the Oracle toggle, the naive reference. op(a) is m×k and op(b) is
+// k×n; when ta, a is stored k×m; when tb, b is stored n×k.
+func matmul(c, a, b []float32, m, k, n int, ta, tb bool, bias []float32, accum bool) {
+	if Oracle {
+		refMatmul(c, a, b, m, k, n, ta, tb, bias, accum)
+		return
 	}
-	matmulAccum(c, a, b, m, k, n, ta, tb)
-}
-
-// matmulAccum computes c += op(a)·op(b) where op(a) is m×k and op(b) is
-// k×n. When ta, a is stored k×m; when tb, b is stored n×k. Large products
-// are parallelized across disjoint output-row chunks, which keeps the
-// result bit-identical to the serial computation.
-func matmulAccum(c, a, b []float64, m, k, n int, ta, tb bool) {
-	rowRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				var av float64
-				if ta {
-					av = a[p*m+i]
-				} else {
-					av = a[i*k+p]
-				}
-				if av == 0 {
-					continue
-				}
-				if tb {
-					for j := 0; j < n; j++ {
-						ci[j] += av * b[j*k+p]
-					}
-				} else {
-					bp := b[p*n : (p+1)*n]
-					for j := 0; j < n; j++ {
-						ci[j] += av * bp[j]
-					}
-				}
-			}
-		}
-	}
-	parallelRows(m, k*n, rowRange)
+	fastMatmul(c, a, b, m, k, n, ta, tb, bias, accum)
 }
 
 // Add returns a+b. b may be 1×cols (row broadcast).
@@ -192,33 +237,38 @@ func Add(a, b *Tensor) *Tensor {
 		panic("tensor: broadcast add column mismatch")
 	}
 	out := child(a.Rows, a.Cols, a, b)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			bv := b.Data[j]
-			if !broadcast {
-				bv = b.Data[i*b.Cols+j]
+	if broadcast {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+			for j, v := range row {
+				orow[j] = v + b.Data[j]
 			}
-			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + bv
+		}
+	} else {
+		for i, v := range a.Data {
+			out.Data[i] = v + b.Data[i]
 		}
 	}
 	out.back = func() {
 		if a.requires {
 			a.ensureGrad()
-			for i := range a.Grad {
-				a.Grad[i] += out.Grad[i]
+			for i, g := range out.Grad {
+				a.Grad[i] += g
 			}
 		}
 		if b.requires {
 			b.ensureGrad()
 			if broadcast {
 				for i := 0; i < a.Rows; i++ {
-					for j := 0; j < a.Cols; j++ {
-						b.Grad[j] += out.Grad[i*a.Cols+j]
+					g := out.Grad[i*a.Cols : (i+1)*a.Cols]
+					for j, gv := range g {
+						b.Grad[j] += gv
 					}
 				}
 			} else {
-				for i := range b.Grad {
-					b.Grad[i] += out.Grad[i]
+				for i, g := range out.Grad {
+					b.Grad[i] += g
 				}
 			}
 		}
@@ -227,7 +277,7 @@ func Add(a, b *Tensor) *Tensor {
 }
 
 // Scale returns a*s.
-func Scale(a *Tensor, s float64) *Tensor {
+func Scale(a *Tensor, s float32) *Tensor {
 	out := child(a.Rows, a.Cols, a)
 	for i, v := range a.Data {
 		out.Data[i] = v * s
@@ -235,34 +285,46 @@ func Scale(a *Tensor, s float64) *Tensor {
 	out.back = func() {
 		if a.requires {
 			a.ensureGrad()
-			for i := range a.Grad {
-				a.Grad[i] += s * out.Grad[i]
+			for i, g := range out.Grad {
+				a.Grad[i] += s * g
 			}
 		}
 	}
 	return out
 }
 
+// geluFwd is the scalar GELU (tanh approximation) shared by the training
+// op and the grad-free inference path.
+func geluFwd(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	u := c * (x + 0.044715*x*x*x)
+	return 0.5 * x * (1 + ftanh32(u))
+}
+
+// geluBwd is d(gelu)/dx at x.
+func geluBwd(x float32) float32 {
+	const c = 0.7978845608028654
+	u := c * (x + 0.044715*x*x*x)
+	th := ftanh32(u)
+	du := c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+th) + 0.5*x*(1-th*th)*du
+}
+
 // GELU applies the Gaussian error linear unit elementwise (tanh
 // approximation, as used by transformer implementations).
 func GELU(a *Tensor) *Tensor {
 	out := child(a.Rows, a.Cols, a)
-	const c = 0.7978845608028654 // sqrt(2/pi)
-	for i, x := range a.Data {
-		out.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
-	}
+	parallelRows(len(a.Data), 16, func(lo, hi int) {
+		geluFwdSlice(out.Data[lo:hi], a.Data[lo:hi])
+	})
 	out.back = func() {
 		if !a.requires {
 			return
 		}
 		a.ensureGrad()
-		for i, x := range a.Data {
-			u := c * (x + 0.044715*x*x*x)
-			th := math.Tanh(u)
-			du := c * (1 + 3*0.044715*x*x)
-			d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
-			a.Grad[i] += d * out.Grad[i]
-		}
+		parallelRows(len(a.Data), 16, func(lo, hi int) {
+			geluBwdSlice(a.Grad[lo:hi], a.Data[lo:hi], out.Grad[lo:hi])
+		})
 	}
 	return out
 }
@@ -273,6 +335,8 @@ func ReLU(a *Tensor) *Tensor {
 	for i, x := range a.Data {
 		if x > 0 {
 			out.Data[i] = x
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	out.back = func() {
@@ -296,61 +360,32 @@ func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
 		panic("tensor: layernorm parameter shape mismatch")
 	}
 	out := child(a.Rows, a.Cols, a, gamma, beta)
-	n := float64(a.Cols)
-	means := make([]float64, a.Rows)
-	invstd := make([]float64, a.Rows)
-	xhat := make([]float64, len(a.Data))
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		mu := 0.0
-		for _, v := range row {
-			mu += v
-		}
-		mu /= n
-		va := 0.0
-		for _, v := range row {
-			d := v - mu
-			va += d * d
-		}
-		va /= n
-		is := 1 / math.Sqrt(va+eps)
-		means[i], invstd[i] = mu, is
-		for j, v := range row {
-			xh := (v - mu) * is
-			xhat[i*a.Cols+j] = xh
-			out.Data[i*a.Cols+j] = xh*gamma.Data[j] + beta.Data[j]
-		}
+	// xhat and the per-row inverse stddev are retained for backward and
+	// reclaimed by Release.
+	xhat := getF32(len(a.Data))
+	invstd := getF32(a.Rows)
+	out.scratch = func() { putF32(xhat); putF32(invstd) }
+	if Oracle {
+		refLayerNormForward(out.Data, a.Data, gamma.Data, beta.Data, xhat, invstd, a.Rows, a.Cols, eps)
+	} else {
+		parallelRows(a.Rows, a.Cols*8, func(lo, hi int) {
+			lnForwardRange(out.Data, a.Data, gamma.Data, beta.Data, xhat, invstd, a.Cols, eps, lo, hi)
+		})
 	}
 	out.back = func() {
-		for i := 0; i < a.Rows; i++ {
-			base := i * a.Cols
-			if gamma.requires {
-				gamma.ensureGrad()
-				for j := 0; j < a.Cols; j++ {
-					gamma.Grad[j] += out.Grad[base+j] * xhat[base+j]
-				}
-			}
-			if beta.requires {
-				beta.ensureGrad()
-				for j := 0; j < a.Cols; j++ {
-					beta.Grad[j] += out.Grad[base+j]
-				}
-			}
-			if a.requires {
-				a.ensureGrad()
-				// dL/dx via the standard layernorm backward.
-				sumDy, sumDyXhat := 0.0, 0.0
-				for j := 0; j < a.Cols; j++ {
-					dy := out.Grad[base+j] * gamma.Data[j]
-					sumDy += dy
-					sumDyXhat += dy * xhat[base+j]
-				}
-				for j := 0; j < a.Cols; j++ {
-					dy := out.Grad[base+j] * gamma.Data[j]
-					a.Grad[base+j] += invstd[i] * (dy - sumDy/n - xhat[base+j]*sumDyXhat/n)
-				}
-			}
+		// gamma/beta gradients accumulate across rows, so backward runs
+		// serially (rows ascending) to keep one deterministic order.
+		if gamma.requires {
+			gamma.ensureGrad()
 		}
+		if beta.requires {
+			beta.ensureGrad()
+		}
+		if a.requires {
+			a.ensureGrad()
+		}
+		lnBackward(a.Grad, gamma.Grad, beta.Grad, out.Grad, gamma.Data, xhat, invstd, a.Rows, a.Cols,
+			gamma.requires, beta.requires, a.requires)
 	}
 	return out
 }
@@ -378,7 +413,8 @@ func Rows(a *Tensor, idx []int) *Tensor {
 
 // BCEWithLogits computes mean binary cross-entropy between logits (n×1)
 // and labels, optionally weighting positives by posWeight. Returns a 1×1
-// loss tensor.
+// loss tensor. Loss internals are float64 (the loss is a scalar summary,
+// not a kernel), rounded to float32 only at the output.
 func BCEWithLogits(logits *Tensor, y []float64, posWeight float64) *Tensor {
 	if logits.Cols != 1 || logits.Rows != len(y) {
 		panic("tensor: BCE shape mismatch")
@@ -389,7 +425,7 @@ func BCEWithLogits(logits *Tensor, y []float64, posWeight float64) *Tensor {
 	probs := make([]float64, len(y))
 	weights := make([]float64, len(y))
 	for i, z := range logits.Data {
-		p := 1 / (1 + math.Exp(-z))
+		p := 1 / (1 + math.Exp(-float64(z)))
 		probs[i] = p
 		w := 1.0
 		if y[i] == 1 {
@@ -403,14 +439,14 @@ func BCEWithLogits(logits *Tensor, y []float64, posWeight float64) *Tensor {
 			total += -w * math.Log(math.Max(1-p, 1e-12))
 		}
 	}
-	out.Data[0] = total / n
+	out.Data[0] = float32(total / n)
 	out.back = func() {
 		if !logits.requires {
 			return
 		}
 		logits.ensureGrad()
 		for i := range y {
-			logits.Grad[i] += out.Grad[0] * weights[i] * (probs[i] - y[i]) / n
+			logits.Grad[i] += float32(float64(out.Grad[0]) * weights[i] * (probs[i] - y[i]) / n)
 		}
 	}
 	return out
@@ -420,7 +456,7 @@ func BCEWithLogits(logits *Tensor, y []float64, posWeight float64) *Tensor {
 func XavierInit(t *Tensor, rng *xrand.RNG) *Tensor {
 	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
 	for i := range t.Data {
-		t.Data[i] = (rng.Float64()*2 - 1) * limit
+		t.Data[i] = float32((rng.Float64()*2 - 1) * limit)
 	}
 	return t
 }
@@ -428,7 +464,7 @@ func XavierInit(t *Tensor, rng *xrand.RNG) *Tensor {
 // NormalInit fills the tensor with N(0, std²) values.
 func NormalInit(t *Tensor, std float64, rng *xrand.RNG) *Tensor {
 	for i := range t.Data {
-		t.Data[i] = rng.NormFloat64() * std
+		t.Data[i] = float32(rng.NormFloat64() * std)
 	}
 	return t
 }

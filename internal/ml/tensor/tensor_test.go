@@ -8,22 +8,33 @@ import (
 )
 
 // numericalGrad estimates d(loss)/d(param[i]) by central differences.
+// The step is large relative to float32 resolution (the forward pass now
+// rounds every op to float32), and the divisor is the ACTUAL perturbation
+// xp-xm after float32 rounding of the endpoints, not the nominal 2h.
 func numericalGrad(t *testing.T, param *Tensor, loss func() float64, i int) float64 {
 	t.Helper()
-	const eps = 1e-6
 	orig := param.Data[i]
-	param.Data[i] = orig + eps
+	h := float32(1e-2)
+	if a := float32(math.Abs(float64(orig))); a > 1 {
+		h *= a
+	}
+	xp, xm := orig+h, orig-h
+	param.Data[i] = xp
 	up := loss()
-	param.Data[i] = orig - eps
+	param.Data[i] = xm
 	down := loss()
 	param.Data[i] = orig
-	return (up - down) / (2 * eps)
+	return (up - down) / float64(xp-xm)
 }
 
 // checkGrads compares analytic and numerical gradients for all params.
+// Tolerances are loose by float64 standards: the graph computes in
+// float32 and the finite-difference probe carries O(h²) truncation
+// error; exact kernel correctness is enforced separately by the oracle
+// tests, which compare fast vs reference gradients bitwise.
 func checkGrads(t *testing.T, params []*Tensor, forward func() *Tensor, tol float64) {
 	t.Helper()
-	lossVal := func() float64 { return forward().Data[0] }
+	lossVal := func() float64 { return float64(forward().Data[0]) }
 	for _, p := range params {
 		p.ZeroGrad()
 	}
@@ -35,7 +46,7 @@ func checkGrads(t *testing.T, params []*Tensor, forward func() *Tensor, tol floa
 	for pi, p := range params {
 		for i := range p.Data {
 			want := numericalGrad(t, p, lossVal, i)
-			got := p.Grad[i]
+			got := float64(p.Grad[i])
 			diff := math.Abs(want - got)
 			scale := math.Max(1, math.Max(math.Abs(want), math.Abs(got)))
 			if diff/scale > tol {
@@ -65,7 +76,17 @@ func TestMatMulGrad(t *testing.T) {
 	b := NormalInit(New(4, 5), 1, rng).Param()
 	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
 		return sumAll(GELU(MatMul(a, b)))
-	}, 1e-4)
+	}, 2e-2)
+}
+
+func TestMatMulBiasGrad(t *testing.T) {
+	rng := xrand.New(17)
+	a := NormalInit(New(5, 3), 1, rng).Param()
+	b := NormalInit(New(3, 4), 1, rng).Param()
+	bias := NormalInit(New(1, 4), 1, rng).Param()
+	checkGrads(t, []*Tensor{a, b, bias}, func() *Tensor {
+		return sumAll(GELU(MatMulBias(a, b, bias)))
+	}, 2e-2)
 }
 
 func TestAddBroadcastGrad(t *testing.T) {
@@ -74,7 +95,7 @@ func TestAddBroadcastGrad(t *testing.T) {
 	bias := NormalInit(New(1, 3), 1, rng).Param()
 	checkGrads(t, []*Tensor{a, bias}, func() *Tensor {
 		return sumAll(GELU(Add(a, bias)))
-	}, 1e-4)
+	}, 2e-2)
 }
 
 func TestLayerNormGrad(t *testing.T) {
@@ -84,7 +105,7 @@ func TestLayerNormGrad(t *testing.T) {
 	b := NormalInit(New(1, 6), 0.5, rng).Param()
 	checkGrads(t, []*Tensor{a, g, b}, func() *Tensor {
 		return sumAll(GELU(LayerNorm(a, g, b, 1e-5)))
-	}, 1e-3)
+	}, 2e-2)
 }
 
 func TestAttentionGrad(t *testing.T) {
@@ -95,7 +116,7 @@ func TestAttentionGrad(t *testing.T) {
 	v := NormalInit(New(batch*T, d), 1, rng).Param()
 	checkGrads(t, []*Tensor{q, k, v}, func() *Tensor {
 		return sumAll(GELU(Attention(q, k, v, batch, T, heads)))
-	}, 1e-3)
+	}, 3e-2)
 }
 
 func TestBCEGrad(t *testing.T) {
@@ -104,7 +125,7 @@ func TestBCEGrad(t *testing.T) {
 	y := []float64{1, 0, 1, 0, 1}
 	checkGrads(t, []*Tensor{logits}, func() *Tensor {
 		return BCEWithLogits(logits, y, 2.0)
-	}, 1e-4)
+	}, 1e-2)
 }
 
 func TestRowsGrad(t *testing.T) {
@@ -112,7 +133,7 @@ func TestRowsGrad(t *testing.T) {
 	a := NormalInit(New(6, 3), 1, rng).Param()
 	checkGrads(t, []*Tensor{a}, func() *Tensor {
 		return sumAll(Rows(a, []int{0, 3, 5}))
-	}, 1e-5)
+	}, 1e-2)
 }
 
 func TestReLUGrad(t *testing.T) {
@@ -120,7 +141,7 @@ func TestReLUGrad(t *testing.T) {
 	a := NormalInit(New(4, 4), 1, rng).Param()
 	checkGrads(t, []*Tensor{a}, func() *Tensor {
 		return sumAll(ReLU(a))
-	}, 1e-4)
+	}, 1e-2)
 }
 
 func TestScaleGrad(t *testing.T) {
@@ -128,7 +149,7 @@ func TestScaleGrad(t *testing.T) {
 	a := NormalInit(New(3, 3), 1, rng).Param()
 	checkGrads(t, []*Tensor{a}, func() *Tensor {
 		return sumAll(Scale(a, -2.5))
-	}, 1e-5)
+	}, 1e-2)
 }
 
 // TestTransformerBlockGrad composes the exact op sequence of one FT-T
@@ -152,14 +173,14 @@ func TestTransformerBlockGrad(t *testing.T) {
 		att := Attention(q, k, v, batch, T, heads)
 		att = MatMul(att, wo)
 		return sumAll(Add(h0, att))
-	}, 2e-3)
+	}, 3e-2)
 }
 
 func TestAdamConverges(t *testing.T) {
 	// Minimize ||w - target||² — Adam should get close quickly.
 	rng := xrand.New(16)
 	w := NormalInit(New(1, 4), 1, rng).Param()
-	target := []float64{1, -2, 3, 0.5}
+	target := []float32{1, -2, 3, 0.5}
 	opt := NewAdam([]*Tensor{w}, 0.05)
 	for step := 0; step < 500; step++ {
 		opt.ZeroGrad()
@@ -175,7 +196,7 @@ func TestAdamConverges(t *testing.T) {
 		opt.Step()
 	}
 	for i, want := range target {
-		if math.Abs(w.Data[i]-want) > 0.05 {
+		if math.Abs(float64(w.Data[i]-want)) > 0.05 {
 			t.Errorf("w[%d] = %.3f, want ≈ %.3f", i, w.Data[i], want)
 		}
 	}

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the shared persistent worker pool behind ForEachChunk —
+// the hot-kernel fan-out shape. Run/Map/ForEachN spawn goroutines per
+// call, which is fine for coarse tasks (a Table II cell, a fleet shard)
+// but too heavy for kernels invoked tens of thousands of times per
+// second (one matmul per transformer op). ForEachChunk instead hands
+// chunks to a lazily-started, process-wide pool of resident workers, so
+// a matmul costs one channel send per borrowed worker instead of a
+// goroutine spawn — and zero synchronization when workers <= 1.
+
+// poolJob is one ForEachChunk invocation. Workers claim fixed-size chunks
+// through the shared atomic cursor; which worker runs which chunk is
+// scheduling-dependent, but chunk boundaries are not, so kernels that
+// write disjoint per-chunk outputs produce identical bytes for every
+// worker count.
+type poolJob struct {
+	fn    func(lo, hi int)
+	chunk int
+	n     int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run claims chunks until the job is exhausted.
+func (j *poolJob) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		lo := c * j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *poolJob
+)
+
+// poolSize is the resident worker count: GOMAXPROCS, floored at 8 so
+// worker-count determinism (callers pinning workers ∈ {1, 2, 8}) stays
+// exercisable on small CI boxes. Idle workers cost only a parked
+// goroutine.
+func poolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func startPool() {
+	poolJobs = make(chan *poolJob)
+	for w := 0; w < poolSize(); w++ {
+		go func() {
+			for j := range poolJobs {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// ForEachChunk runs fn over [0, n) split into fixed chunks of the given
+// size, fanning the chunks across at most `workers` goroutines (0 = one
+// per CPU) borrowed from the shared resident pool. The calling goroutine
+// always participates as one worker, so the call makes progress even when
+// every pool worker is busy (nested parallelism cannot deadlock: borrows
+// are non-blocking and simply fall back to the caller).
+//
+// Determinism contract: chunk boundaries depend only on n and chunk —
+// never on workers or on which worker claims which chunk — so a fn whose
+// chunks write disjoint output regions yields byte-identical results for
+// every worker count, including 1 (where fn runs inline on the caller
+// with no synchronization at all).
+func ForEachChunk(workers, n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	workers = Workers(workers)
+	if nChunks := (n + chunk - 1) / chunk; workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	j := &poolJob{fn: fn, chunk: chunk, n: n}
+	for i := 0; i < workers-1; i++ {
+		j.wg.Add(1)
+		select {
+		case poolJobs <- j:
+		default:
+			// No pool worker is idle right now; the caller absorbs the
+			// remaining chunks instead of blocking on a borrow.
+			j.wg.Done()
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachChunkCoversRange: every index is visited exactly once, for
+// chunk sizes that do and don't divide n, and for worker counts below,
+// at, and above the chunk count.
+func TestForEachChunkCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, chunk := range []int{1, 3, 64, 1000} {
+			for _, workers := range []int{1, 2, 8, 33} {
+				hits := make([]int32, n)
+				ForEachChunk(workers, n, chunk, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d chunk=%d workers=%d: index %d visited %d times", n, chunk, workers, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkBoundariesFixed: for every multi-worker count the set
+// of (lo, hi) chunks handed to fn depends only on n and chunk — the
+// determinism contract disjoint-write kernels rely on. (workers=1 is the
+// documented inline fast path: one [0, n) span on the caller.)
+func TestForEachChunkBoundariesFixed(t *testing.T) {
+	const n, chunk = 1003, 17
+	collect := func(workers int) map[[2]int]bool {
+		seen := make([]atomic.Bool, (n+chunk-1)/chunk)
+		ForEachChunk(workers, n, chunk, func(lo, hi int) {
+			if lo%chunk != 0 {
+				t.Errorf("workers=%d: chunk start %d not aligned to %d", workers, lo, chunk)
+			}
+			want := lo + chunk
+			if want > n {
+				want = n
+			}
+			if hi != want {
+				t.Errorf("workers=%d: chunk [%d, %d), want end %d", workers, lo, hi, want)
+			}
+			seen[lo/chunk].Store(true)
+		})
+		out := map[[2]int]bool{}
+		for i := range seen {
+			if seen[i].Load() {
+				out[[2]int{i * chunk, 0}] = true
+			}
+		}
+		return out
+	}
+	base := collect(2)
+	for _, w := range []int{8, 16} {
+		got := collect(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d produced %d chunks, workers=2 produced %d", w, len(got), len(base))
+		}
+	}
+}
+
+// TestForEachChunkNested: a fn that itself calls ForEachChunk must not
+// deadlock — inner borrows fall back to the borrowing goroutine when the
+// pool is saturated.
+func TestForEachChunkNested(t *testing.T) {
+	var total atomic.Int64
+	ForEachChunk(8, 64, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ForEachChunk(8, 32, 4, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 64*32 {
+		t.Fatalf("nested ForEachChunk covered %d units, want %d", got, 64*32)
+	}
+}
+
+// TestForEachChunkSingleWorkerInline: workers=1 must run on the calling
+// goroutine (kernels rely on this for the zero-synchronization path).
+func TestForEachChunkSingleWorkerInline(t *testing.T) {
+	calls := 0 // no atomics: inline execution means no concurrency
+	ForEachChunk(1, 100, 7, func(lo, hi int) { calls += hi - lo })
+	if calls != 100 {
+		t.Fatalf("covered %d of 100", calls)
+	}
+}
