@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race fuzz-short examples-smoke ci
+.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race fuzz-short examples-smoke scenario-smoke ci
 
 all: build
 
@@ -38,34 +38,35 @@ bench-cache:
 # the predictor registry), and serving-throughput benchmarks (events/sec
 # replayed through the sharded online engine per production algorithm,
 # shards 1 vs N, against the preserved pre-refactor sequential baseline),
-# recorded as BENCH_PR6.json so the perf trajectory stays
-# machine-readable. BENCH_PR2/3/4/5.json are earlier PRs' snapshots —
-# keep them for comparison. The PR 6 acceptance rows are
-# BenchmarkPhaseTrainFTT (target ≤12s, ≥5× over the 60.8s PR 5 value)
-# and BenchmarkModelScoreBatch/FT-Transformer (target ≤0.042s, ≥10×
-# over 0.415s), both delivered by the internal/ml/tensor kernel rebuild;
-# BenchmarkServeFTTShards1 is new — the FT-Transformer only became
-# serviceable once grad-free inference landed.
+# recorded as BENCH_PR7.json so the perf trajectory stays
+# machine-readable. BENCH_PR2/3/4/5/6.json are earlier PRs' snapshots —
+# keep them for comparison. New in PR 7: BenchmarkSimulateClean and
+# BenchmarkSimulateChaos record end-to-end scenario throughput
+# (events/sec through fleet generation, bootstrap training and the
+# injector chain) with and without chaos, so injector overhead stays
+# visible.
 # The sub-second phases run 5 iterations for stable numbers; the
 # FT-Transformer fit (~9s per iteration) runs once; the multi-second
-# replays run 3. TrainGBDT is an alias of Train (same body), so the JSON
-# entry is derived from the one measurement rather than fitting the
-# booster twice.
+# replays and scenario runs run 3. TrainGBDT is an alias of Train (same
+# body), so the JSON entry is derived from the one measurement rather
+# than fitting the booster twice.
 bench-quick:
 	$(GO) test -run '^$$' -bench '^BenchmarkPhase(Generate|GenerateSequential|Extract|Train|TrainForest|Eval)$$' \
-		-benchtime 5x -timeout 30m . > BENCH_PR6.txt
+		-benchtime 5x -timeout 30m . > BENCH_PR7.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkPhaseTrainFTT$$' -benchtime 1x -timeout 30m . \
-		>> BENCH_PR6.txt
+		>> BENCH_PR7.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkModel(Marshal|Unmarshal|ScoreBatch)$$' \
-		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR6.txt
+		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR7.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchtime 3x -timeout 60m . \
-		>> BENCH_PR6.txt
-	cat BENCH_PR6.txt
+		>> BENCH_PR7.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkSimulate' -benchtime 3x -timeout 30m \
+		./internal/scenario/ >> BENCH_PR7.txt
+	cat BENCH_PR7.txt
 	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"benchmarks\": {" ; n=0 } \
-		/^Benchmark(Phase|Model|Serve)/ { name=$$1; sub(/-[0-9]+$$/, "", name); sec=""; eps=""; \
+		/^Benchmark(Phase|Model|Serve|Simulate)/ { name=$$1; sub(/-[0-9]+$$/, "", name); sec=""; eps=""; \
 			for (i=2; i<=NF; i++) { \
 				if ($$(i) == "ns/op") sec=$$(i-1)/1e9; \
-				if ($$(i) == "events/sec") eps=$$(i-1) } \
+				if ($$(i) == "events/sec" || $$(i) == "events/s") eps=$$(i-1) } \
 			if (sec != "") { \
 				if (n++) printf ","; \
 				printf "\n    \"%s\": { \"seconds\": %.6f", name, sec; \
@@ -73,9 +74,9 @@ bench-quick:
 				printf " }"; \
 				if (name == "BenchmarkPhaseTrain") \
 					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, sec } } \
-		END { print "\n  }\n}" }' BENCH_PR6.txt > BENCH_PR6.json
-	@rm -f BENCH_PR6.txt
-	@echo "wrote BENCH_PR6.json"
+		END { print "\n  }\n}" }' BENCH_PR7.txt > BENCH_PR7.json
+	@rm -f BENCH_PR7.txt
+	@echo "wrote BENCH_PR7.json"
 
 # Race-detector pass over the concurrency-bearing packages: the worker
 # pool, the parallel fleet generator, the indexed trace store, sharded
@@ -91,12 +92,15 @@ test-race:
 		./internal/trace/ ./internal/features/ ./internal/pipeline/ \
 		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/gbdt/ \
 		./internal/ml/tensor/ ./internal/ml/ftt/ \
-		./internal/ml/model/ ./internal/mlops/
+		./internal/ml/model/ ./internal/mlops/ ./internal/scenario/
 
-# Short fuzz pass over the bin mapper (the substrate every tree model
-# bins through); part of ci so regressions in edge handling surface early.
+# Short fuzz passes: the bin mapper (the substrate every tree model bins
+# through) and the scenario YAML-subset parser (user input — malformed
+# files must error, never panic); part of ci so regressions in edge
+# handling surface early.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzBinMapper$$' -fuzztime 15s ./internal/ml/tree/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseYAML$$' -fuzztime 15s ./internal/scenario/
 
 # Build-and-run smoke over the examples at tiny scale: the quickstart
 # (fleet → train → evaluate) and the mlops walkthrough (train → gate →
@@ -105,4 +109,10 @@ examples-smoke:
 	$(GO) run ./examples/quickstart -scale 0.02 -seed 7 > /dev/null
 	$(GO) run ./examples/mlops -platform Intel_Purley -scale 0.03 -seed 31 > /dev/null
 
-ci: build vet fmt test-race fuzz-short examples-smoke test
+# Validate and run every shipped chaos scenario through the real serving
+# stack; fails if any scenario misses its assertions.
+scenario-smoke:
+	$(GO) run ./cmd/memfp simulate -validate scenarios/*.yaml
+	$(GO) run ./cmd/memfp simulate -o /tmp scenarios/*.yaml
+
+ci: build vet fmt test-race fuzz-short examples-smoke scenario-smoke test

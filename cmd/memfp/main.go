@@ -10,6 +10,8 @@
 //	memfp algos
 //	memfp train    -platform Intel_Purley [-algo lightgbm] [-scale 0.1]
 //	memfp serve    -platform Intel_Purley [-scale 0.05] [-trainer LightGBM]
+//	memfp diag     -platform Intel_Purley [-scale 0.1]
+//	memfp simulate [-validate] [-shards 4] [-o report.json] scenarios/<name>.yaml
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "diag":
 		err = cmdDiag(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,6 +67,8 @@ commands:
   train     train and evaluate one algorithm on one platform
   serve     run the MLOps online-prediction demo
   diag      print split statistics and score quality for one platform
+  simulate  drive the serving stack through declarative chaos scenarios
+            (use -validate to check scenario files without running them)
 
 run "memfp <command> -h" for flags`)
 }

@@ -61,3 +61,14 @@ func (m Mode) String() string {
 
 // MultiDevice reports whether the mode spans more than one device.
 func (m Mode) MultiDevice() bool { return m == ModeMultiDevice }
+
+// ParseMode resolves a fault-mode name (the String form) back to its
+// Mode — the decode path for declarative scenario files.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("faultsim: unknown fault mode %q", s)
+}

@@ -1,0 +1,83 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"memfp/internal/trace"
+)
+
+// Regime is one timed shift of the fleet's CE emission rates — the
+// generation-side hook for firmware-wave chaos: a firmware rollout (or a
+// datacenter-wide environmental change) that multiplies the per-day CE
+// rate of every fault, optionally differently per fault mode, over a day
+// window. Regimes compose multiplicatively when windows overlap.
+//
+// A regime never changes which DIMMs exist, their fault modes, or their
+// UE outcomes — only the density of the CE streams inside its window —
+// so fleets with and without regimes stay structurally comparable.
+type Regime struct {
+	// FromDay is the first day (inclusive) the regime applies to.
+	FromDay int
+	// ToDay is the first day the regime no longer applies to; <= 0 means
+	// the regime stays active through the end of the observation span.
+	ToDay int
+	// RateMult multiplies every fault's CE rate inside the window;
+	// values <= 0 are treated as 1 (no global shift).
+	RateMult float64
+	// ModeMult applies an extra per-mode multiplier on top of RateMult,
+	// modeling firmware that changes the visibility of specific fault
+	// structures (e.g. a patrol-scrub change surfacing row faults).
+	ModeMult map[Mode]float64
+}
+
+// active reports whether the regime covers the given day.
+func (r Regime) active(day int) bool {
+	return day >= r.FromDay && (r.ToDay <= 0 || day < r.ToDay)
+}
+
+// mult returns the regime's rate multiplier for one (day, mode), 1 when
+// the day is outside the window.
+func (r Regime) mult(day int, m Mode) float64 {
+	if !r.active(day) {
+		return 1
+	}
+	f := r.RateMult
+	if f <= 0 {
+		f = 1
+	}
+	if mm, ok := r.ModeMult[m]; ok && mm > 0 {
+		f *= mm
+	}
+	return f
+}
+
+// Validate checks a regime for internal consistency.
+func (r Regime) Validate() error {
+	spanDays := int(trace.ObservationSpan / trace.Day)
+	if r.FromDay < 0 || r.FromDay >= spanDays {
+		return fmt.Errorf("faultsim: regime FromDay %d outside [0, %d)", r.FromDay, spanDays)
+	}
+	if r.ToDay > 0 && r.ToDay <= r.FromDay {
+		return fmt.Errorf("faultsim: regime window [%d, %d) is empty", r.FromDay, r.ToDay)
+	}
+	if r.RateMult < 0 {
+		return fmt.Errorf("faultsim: regime RateMult %v is negative", r.RateMult)
+	}
+	for m, f := range r.ModeMult {
+		if f < 0 {
+			return fmt.Errorf("faultsim: regime ModeMult for %v is negative: %v", m, f)
+		}
+	}
+	return nil
+}
+
+// regimeMult folds all regimes covering one (day, mode) into a single
+// multiplier. It is a pure function of its inputs, so per-DIMM generation
+// stays index-addressable and byte-identical for every worker count.
+func regimeMult(regimes []Regime, day int, m Mode) float64 {
+	f := 1.0
+	for _, r := range regimes {
+		f *= r.mult(day, m)
+	}
+	return f
+}

@@ -30,6 +30,13 @@ type Config struct {
 	// index-addressable stream (xrand.Derive), so the generated fleet is
 	// byte-identical for every worker count.
 	Workers int
+	// Regimes applies timed per-mode CE-rate multipliers (firmware waves,
+	// environmental shifts). Empty means the historical stationary rates.
+	Regimes []Regime
+	// ServerBase offsets every generated DIMM's Server index. Scenario
+	// fleets built from several templates of the same platform use
+	// distinct bases so their DIMM identities never collide.
+	ServerBase int
 }
 
 // Truth records the generator's hidden state for one DIMM. It exists for
@@ -90,6 +97,8 @@ type genEnv struct {
 	modeWeights []float64
 	slots       int
 	base        uint64 // per-platform seed base for xrand.Derive streams
+	regimes     []Regime
+	serverBase  int
 }
 
 // dimmShard is one per-DIMM generation result: the ground truth and the
@@ -132,6 +141,11 @@ func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if maxEvents <= 0 {
 		maxEvents = 2500
 	}
+	for _, reg := range cfg.Regimes {
+		if err := reg.Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	// x4 parts dominate the studied population (the paper's bit-level
 	// analysis is for x4 DRAM).
@@ -162,6 +176,8 @@ func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 		modeWeights: modeWeights,
 		slots:       p.Sockets * p.ChannelsPerSocket * p.DIMMsPerChannel,
 		base:        cfg.Seed ^ hashPlatform(cfg.Platform),
+		regimes:     cfg.Regimes,
+		serverBase:  cfg.ServerBase,
 	}
 
 	nCE := int(math.Round(float64(calib.CEDIMMs) * cfg.Scale))
@@ -232,7 +248,7 @@ func genCEDIMM(env *genEnv, i int) (*dimmShard, error) {
 	if drng.Bool(0.15) && len(env.x8Parts) > 0 {
 		part = env.x8Parts[drng.Intn(len(env.x8Parts))]
 	}
-	id := trace.DIMMID{Platform: env.platformID, Server: i, Slot: drng.Intn(env.slots)}
+	id := trace.DIMMID{Platform: env.platformID, Server: env.serverBase + i, Slot: drng.Intn(env.slots)}
 	mode := env.modes[drng.Categorical(env.modeWeights)]
 	ueBound := drng.Bool(env.calib.UEHazard[mode])
 
@@ -240,7 +256,7 @@ func genCEDIMM(env *genEnv, i int) (*dimmShard, error) {
 	fault := NewFault(mode, prof, part.Geometry, drng)
 
 	sh := &dimmShard{truth: &Truth{ID: id, Part: part, Mode: mode, Profile: prof, UETime: -1}}
-	if err := emitDIMM(sh, env.platform, env.calib, fault, sh.truth, ueBound, env.maxEvents, drng); err != nil {
+	if err := emitDIMM(sh, env, fault, sh.truth, ueBound, drng); err != nil {
 		return nil, err
 	}
 	return sh, nil
@@ -251,7 +267,7 @@ func genCEDIMM(env *genEnv, i int) (*dimmShard, error) {
 func genSuddenDIMM(env *genEnv, nCE, i int) (*dimmShard, error) {
 	drng := xrand.Derive(env.base, uint64(nCE+i))
 	part := env.x4Parts[drng.Intn(len(env.x4Parts))]
-	id := trace.DIMMID{Platform: env.platformID, Server: nCE + i, Slot: drng.Intn(env.slots)}
+	id := trace.DIMMID{Platform: env.platformID, Server: env.serverBase + nCE + i, Slot: drng.Intn(env.slots)}
 	mode := env.modes[drng.Categorical(env.modeWeights)]
 	fault := NewFault(mode, ProfileSingleBit, part.Geometry, drng)
 	ueTime := trace.Minutes(drng.Int63n(int64(trace.ObservationSpan)))
@@ -291,9 +307,8 @@ func sampleProfile(c *Calibration, ueBound bool, rng *xrand.RNG) Profile {
 
 // emitDIMM generates the CE stream (and UE, when ueBound) for one DIMM,
 // buffering events into the DIMM's shard.
-func emitDIMM(sh *dimmShard, p *platform.Platform, calib *Calibration,
-	fault *Fault, t *Truth, ueBound bool, maxEvents int, rng *xrand.RNG) error {
-
+func emitDIMM(sh *dimmShard, env *genEnv, fault *Fault, t *Truth, ueBound bool, rng *xrand.RNG) error {
+	p, calib, maxEvents := env.platform, env.calib, env.maxEvents
 	spanDays := int(trace.ObservationSpan / trace.Day)
 	baseRate := rng.LogNormal(calib.RateMu, calib.RateSigma) * modeRateMult[fault.Mode]
 
@@ -347,7 +362,7 @@ func emitDIMM(sh *dimmShard, p *platform.Platform, calib *Calibration,
 
 	total := 0
 	for d := firstDay; d <= lastDay && total < maxEvents; d++ {
-		mean := baseRate
+		mean := baseRate * regimeMult(env.regimes, d, fault.Mode)
 		if ueBound {
 			// CE rate accelerates approaching the UE (the temporal
 			// signal the paper's 5-day observation window captures):

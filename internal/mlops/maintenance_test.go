@@ -1,0 +1,205 @@
+package mlops
+
+import (
+	"testing"
+
+	"memfp/internal/trace"
+)
+
+// fleetStream flattens the fixture store into one time-ordered stream.
+func fleetStream(t *testing.T) ([]trace.Event, *Pipeline) {
+	t.Helper()
+	pipe, res := trainedPipeline(t)
+	var stream []trace.Event
+	for _, l := range res.Store.DIMMs() {
+		stream = append(stream, l.Events...)
+	}
+	sortSlice(stream, func(a, b trace.Event) bool {
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.DIMM != b.DIMM {
+			return a.DIMM.Less(b.DIMM)
+		}
+		return a.Type < b.Type
+	})
+	return stream, pipe
+}
+
+func freshServer(t *testing.T, pipe *Pipeline, shards int) *Server {
+	t.Helper()
+	_, res := trainedPipeline(t)
+	s := NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, shards)
+	for _, l := range res.Store.DIMMs() {
+		s.RegisterDIMM(l.ID, l.Part)
+	}
+	return s
+}
+
+// TestPauseResumeMatchesUninterrupted drives the same stream through an
+// engine that takes a maintenance window mid-stream and one that does
+// not: the union of alarms must be identical — pausing defers serving,
+// it never changes decisions.
+func TestPauseResumeMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	stream, pipe := fleetStream(t)
+
+	straight := freshServer(t, pipe, 4)
+	var want []Alarm
+	for lo := 0; lo < len(stream); lo += 1024 {
+		hi := min(lo+1024, len(stream))
+		as, err := straight.IngestBatch(stream[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, as...)
+	}
+	if len(want) == 0 {
+		t.Fatal("stream emitted no alarms; fixture proves nothing")
+	}
+
+	paused := freshServer(t, pipe, 4)
+	var got []Alarm
+	pauseAt, resumeAt := len(stream)/3, 2*len(stream)/3
+	for lo := 0; lo < len(stream); lo += 1024 {
+		hi := min(lo+1024, len(stream))
+		if lo <= pauseAt && pauseAt < hi {
+			paused.Pause()
+			if !paused.Paused() {
+				t.Fatal("Paused() false after Pause")
+			}
+		}
+		if lo <= resumeAt && resumeAt < hi {
+			if paused.HeldEvents() == 0 {
+				t.Fatal("maintenance window held no events; test proves nothing")
+			}
+			as, err := paused.Resume()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, as...)
+		}
+		as, err := paused.IngestBatch(stream[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, as...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paused run emitted %d alarms, uninterrupted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alarm %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResumeEmptyIsNoop covers the edge cases: resuming an engine that
+// never paused, and a pause window with no traffic.
+func TestResumeEmptyIsNoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	_, pipe := fleetStream(t)
+	s := freshServer(t, pipe, 2)
+	if as, err := s.Resume(); err != nil || as != nil {
+		t.Fatalf("Resume on never-paused engine: alarms=%v err=%v", as, err)
+	}
+	s.Pause()
+	if as, err := s.Resume(); err != nil || as != nil {
+		t.Fatalf("Resume after traffic-free pause: alarms=%v err=%v", as, err)
+	}
+	if s.Paused() {
+		t.Fatal("engine still paused after Resume")
+	}
+}
+
+// TestReplaceDIMMResetsState pins hot-swap semantics: after ReplaceDIMM
+// the slot serves a fresh module — history, throttle and cooldown state
+// gone — so an event pattern that was cooldown-suppressed on the old
+// module can alarm again on the new one.
+func TestReplaceDIMMResetsState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	stream, pipe := fleetStream(t)
+	s := freshServer(t, pipe, 4)
+	alarms, err := s.IngestBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("stream emitted no alarms; fixture proves nothing")
+	}
+	id := alarms[0].DIMM
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	oldLen := len(sh.dimms[id].log.Events)
+	part := sh.dimms[id].log.Part
+	sh.mu.Unlock()
+	if oldLen == 0 {
+		t.Fatal("alarmed DIMM has no history")
+	}
+
+	s.ReplaceDIMM(id, part)
+	sh.mu.Lock()
+	st := sh.dimms[id]
+	if len(st.log.Events) != 0 || st.cursor != nil || st.alarmed || st.lastPred != 0 {
+		sh.mu.Unlock()
+		t.Fatalf("ReplaceDIMM left state behind: events=%d cursor=%v alarmed=%v lastPred=%v",
+			len(st.log.Events), st.cursor != nil, st.alarmed, st.lastPred)
+	}
+	sh.mu.Unlock()
+}
+
+// TestRegistryRollback walks a promote → promote → rollback cycle and
+// checks the epoch advances so serving caches re-resolve.
+func TestRegistryRollback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	_, res := trainedPipeline(t)
+	pipe := NewPipeline(fixturePipe.Platform)
+	pipe.Seed = 31
+	if _, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day); err != nil {
+		t.Fatal(err)
+	}
+	reg := pipe.Registry
+	if _, err := reg.Rollback(pipe.ModelName); err == nil {
+		t.Fatal("Rollback with a single version should error")
+	}
+	v1, err := reg.Production(pipe.ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a second promotion regardless of the gate.
+	pipe.Seed = 32
+	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Promoted {
+		if err := reg.Promote(pipe.ModelName, tr.Version.Version); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := reg.Epoch()
+	back, err := reg.Rollback(pipe.ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != v1.Version {
+		t.Fatalf("rolled back to v%d, want v%d", back.Version, v1.Version)
+	}
+	cur, err := reg.Production(pipe.ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != v1.Version || reg.Epoch() == before {
+		t.Fatalf("production v%d epoch-moved=%v, want v%d with epoch bump",
+			cur.Version, reg.Epoch() != before, v1.Version)
+	}
+}

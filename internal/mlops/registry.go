@@ -205,6 +205,41 @@ func (r *Registry) Promote(name string, version int) error {
 	return nil
 }
 
+// Rollback undoes the latest promotion: the highest-versioned archived
+// version below the current production one — i.e. the model most recently
+// displaced from production — is promoted back, and the current
+// production version is archived. It returns the version now serving.
+// Serving layers pick the change up through the promotion epoch like any
+// other promotion.
+func (r *Registry) Rollback(name string) (*ModelVersion, error) {
+	r.mu.RLock()
+	var cur, prev *ModelVersion
+	for _, v := range r.versions[name] {
+		if v.Stage == StageProduction {
+			cur = v
+		}
+	}
+	if cur != nil {
+		for _, v := range r.versions[name] {
+			if v.Stage == StageArchived && v.Version < cur.Version &&
+				(prev == nil || v.Version > prev.Version) {
+				prev = v
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if cur == nil {
+		return nil, fmt.Errorf("mlops: no production version of %s to roll back", name)
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("mlops: %s v%d has no previously-promoted version to roll back to", name, cur.Version)
+	}
+	if err := r.Promote(name, prev.Version); err != nil {
+		return nil, err
+	}
+	return prev, nil
+}
+
 // Production returns the current production version of a model, or an
 // error when none is deployed.
 func (r *Registry) Production(name string) (*ModelVersion, error) {

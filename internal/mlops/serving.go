@@ -82,6 +82,13 @@ type Server struct {
 	shards  []*shard
 	monitor *Monitor
 	prod    atomic.Pointer[prodCache]
+
+	// Maintenance state: while paused, IngestBatch queues events in
+	// arrival order instead of serving them; Resume drains the queue
+	// through the normal path. Guarded by pauseMu.
+	pauseMu sync.Mutex
+	paused  bool
+	held    []trace.Event
 }
 
 // shard owns the serving state of the DIMMs hashed onto it.
@@ -178,6 +185,60 @@ func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
 	if _, ok := sh.dimms[id]; !ok {
 		sh.dimms[id] = &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
 	}
+}
+
+// ReplaceDIMM models a hot-swap: the module in the slot is retired and a
+// fresh DIMM — same identity, possibly a different part — takes over with
+// an empty history and cleared throttle, cooldown, and cursor state. The
+// caller is responsible for no longer delivering the retired module's
+// events; anything ingested after the swap belongs to the new module.
+func (s *Server) ReplaceDIMM(id trace.DIMMID, part platform.DIMMPart) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.dimms[id] = &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
+}
+
+// Pause puts the engine into a maintenance window: subsequent IngestBatch
+// calls queue their events in arrival order instead of serving them, and
+// return no alarms. Ingest state already built stays warm. Pausing an
+// already-paused engine is a no-op.
+func (s *Server) Pause() {
+	s.pauseMu.Lock()
+	s.paused = true
+	s.pauseMu.Unlock()
+}
+
+// Paused reports whether the engine is inside a maintenance window.
+func (s *Server) Paused() bool {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.paused
+}
+
+// HeldEvents returns the number of events queued behind the current
+// maintenance window.
+func (s *Server) HeldEvents() int {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return len(s.held)
+}
+
+// Resume ends a maintenance window and drains the queued events through
+// the normal IngestBatch path, returning the alarms they fire. The queue
+// preserves arrival order, so the alarm set is identical to having never
+// paused (micro-batch composition differs, but every registered model
+// scores batch rows independently).
+func (s *Server) Resume() ([]Alarm, error) {
+	s.pauseMu.Lock()
+	held := s.held
+	s.held = nil
+	s.paused = false
+	s.pauseMu.Unlock()
+	if len(held) == 0 {
+		return nil, nil
+	}
+	return s.IngestBatch(held)
 }
 
 // production resolves the production model through the epoch-stamped
@@ -350,6 +411,13 @@ func (s *Server) flushPending(pend *[]pendingPred, out *[]Alarm) error {
 // still returned (and counted) alongside it — cooldown state was
 // already advanced for them, so dropping them would lose them for good.
 func (s *Server) IngestBatch(events []trace.Event) ([]Alarm, error) {
+	s.pauseMu.Lock()
+	if s.paused {
+		s.held = append(s.held, events...)
+		s.pauseMu.Unlock()
+		return nil, nil
+	}
+	s.pauseMu.Unlock()
 	perShard := make([][]trace.Event, len(s.shards))
 	for _, e := range events {
 		si := int(hashDIMM(e.DIMM) % uint32(len(s.shards)))

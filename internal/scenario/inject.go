@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+	"memfp/internal/xrand"
+)
+
+// Injector is one composable stream transformation. The runner feeds
+// every tick window through the chain before events reach the serving
+// engines, so production code carries no test logic. Tick receives the
+// events of the window [from, to) and returns the (possibly rewritten)
+// events to deliver; implementations may insert, drop, or hold events.
+// Flush releases anything still held at end of run.
+type Injector interface {
+	Tick(from, to trace.Minutes, in []trace.Event) []trace.Event
+	Flush(at trace.Minutes) []trace.Event
+}
+
+// injectorStats are the per-injector chaos counters the report records.
+type injectorStats struct {
+	Injected int
+	Dropped  int
+	Lagged   int
+}
+
+type statsReporter interface{ stats() injectorStats }
+
+// fleetDIMM is one slot of the expanded fleet, as the injectors see it.
+type fleetDIMM struct {
+	ID   trace.DIMMID
+	Part platform.DIMMPart
+	PF   platform.ID
+}
+
+// injectCtx is what injector constructors need about the fleet.
+type injectCtx struct {
+	// dimms is the full fleet in globally-sorted DIMMID order, so that
+	// per-index Derive streams are deterministic.
+	dimms []fleetDIMM
+	// platforms/calibs resolve ECC codes and risky bit profiles.
+	platforms map[platform.ID]*platform.Platform
+	calibs    map[platform.ID]*faultsim.Calibration
+	seed      uint64
+}
+
+// eligible returns the indices of fleet DIMMs an action targets.
+func (c *injectCtx) eligible(pf platform.ID) []int {
+	var idx []int
+	for i, d := range c.dimms {
+		if pf == "" || d.PF == pf {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Pre-generated insertion injectors (storms, bursts)
+// ---------------------------------------------------------------------------
+
+// insertInjector merges a pre-generated, time-sorted event list into the
+// stream. Both storms and bursts reduce to this: all randomness happens
+// at construction from Derive streams, so the inserted events are
+// identical regardless of tick size or shard count.
+type insertInjector struct {
+	pending []trace.Event // sorted by time; consumed front to back
+	st      injectorStats
+}
+
+func (ii *insertInjector) Tick(from, to trace.Minutes, in []trace.Event) []trace.Event {
+	out := in
+	for len(ii.pending) > 0 && ii.pending[0].Time < to {
+		if ii.pending[0].Time >= from {
+			out = append(out, ii.pending[0])
+			ii.st.Injected++
+		}
+		ii.pending = ii.pending[1:]
+	}
+	return out
+}
+
+func (ii *insertInjector) Flush(at trace.Minutes) []trace.Event { return nil }
+func (ii *insertInjector) stats() injectorStats                 { return ii.st }
+
+// profileFor picks the injected bit signature: the platform's calibrated
+// risky UE-precursor profile, or the benign single-bit one.
+func profileFor(c *injectCtx, pf platform.ID, risky bool) faultsim.Profile {
+	if risky {
+		return c.calibs[pf].RiskyProfile
+	}
+	return faultsim.ProfileSingleBit
+}
+
+// newStormInjector pre-generates a CE storm: a deterministic fraction of
+// the (platform-filtered) fleet emits Poisson CE floods from a fresh
+// fault for the storm window. Seed streams are addressed by global fleet
+// index, so target choice does not depend on iteration order.
+func newStormInjector(c *injectCtx, actionIdx int, a Action) (*insertInjector, error) {
+	sub := xrand.Derive(c.seed, 0x5708_0000+uint64(actionIdx)).Uint64()
+	var events []trace.Event
+	for _, i := range c.eligible(a.Platform) {
+		d := c.dimms[i]
+		rng := xrand.Derive(sub, uint64(i))
+		if rng.Float64() >= a.Fraction {
+			continue
+		}
+		n := rng.Poisson(a.RatePerDay * float64(a.Duration) / float64(trace.Day))
+		if n == 0 {
+			continue
+		}
+		fault := faultsim.NewFault(a.Mode, profileFor(c, d.PF, a.Risky), d.Part.Geometry, rng)
+		p := c.platforms[d.PF]
+		for k := 0; k < n; k++ {
+			bits, err := fault.SampleCEBits(p.ECC, d.Part.Width, rng)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: ce_storm: %w", err)
+			}
+			events = append(events, trace.Event{
+				Time: a.At + trace.Minutes(rng.Int63n(int64(a.Duration))),
+				Type: trace.TypeCE, DIMM: d.ID,
+				Addr: fault.SampleAddr(rng), Bits: bits,
+			})
+		}
+	}
+	sort.Stable(trace.ByTime(events))
+	return &insertInjector{pending: events}, nil
+}
+
+// newBurstInjector pre-generates correlated fault bursts: Count DIMMs
+// each develop one fresh fault of the given mode and emit BurstCEs
+// structured CEs inside the burst window.
+func newBurstInjector(c *injectCtx, actionIdx int, a Action) (*insertInjector, error) {
+	sub := xrand.Derive(c.seed, 0xB057_0000+uint64(actionIdx)).Uint64()
+	pool := c.eligible(a.Platform)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("scenario: fault_burst: no DIMMs on platform %q", a.Platform)
+	}
+	sel := xrand.Derive(sub, 0)
+	n := a.Count
+	if n > len(pool) {
+		n = len(pool)
+	}
+	picks := sel.SampleWithoutReplacement(len(pool), n)
+	sort.Ints(picks)
+	var events []trace.Event
+	for _, pi := range picks {
+		i := pool[pi]
+		d := c.dimms[i]
+		rng := xrand.Derive(sub, 1+uint64(i))
+		fault := faultsim.NewFault(a.Mode, profileFor(c, d.PF, a.Risky), d.Part.Geometry, rng)
+		p := c.platforms[d.PF]
+		for k := 0; k < a.BurstCEs; k++ {
+			bits, err := fault.SampleCEBits(p.ECC, d.Part.Width, rng)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: fault_burst: %w", err)
+			}
+			events = append(events, trace.Event{
+				Time: a.At + trace.Minutes(rng.Int63n(int64(a.Duration))),
+				Type: trace.TypeCE, DIMM: d.ID,
+				Addr: fault.SampleAddr(rng), Bits: bits,
+			})
+		}
+	}
+	sort.Stable(trace.ByTime(events))
+	return &insertInjector{pending: events}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hot-swap retirement dropper
+// ---------------------------------------------------------------------------
+
+// retireInjector drops events addressed to retired modules. When a
+// hot-swap replaces a DIMM, the generated stream still carries the old
+// module's future events; the fresh module in the slot is healthy, so
+// those events must vanish. One shared instance sits at the end of the
+// chain and the runner registers retirements as hot-swaps execute.
+type retireInjector struct {
+	retired map[trace.DIMMID]trace.Minutes
+	st      injectorStats
+}
+
+func newRetireInjector() *retireInjector {
+	return &retireInjector{retired: map[trace.DIMMID]trace.Minutes{}}
+}
+
+// retire marks a slot's current module as replaced at the given time.
+func (ri *retireInjector) retire(id trace.DIMMID, at trace.Minutes) {
+	ri.retired[id] = at
+}
+
+func (ri *retireInjector) Tick(from, to trace.Minutes, in []trace.Event) []trace.Event {
+	if len(ri.retired) == 0 {
+		return in
+	}
+	out := in[:0]
+	for _, ev := range in {
+		if at, ok := ri.retired[ev.DIMM]; ok && ev.Time >= at {
+			ri.st.Dropped++
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (ri *retireInjector) Flush(at trace.Minutes) []trace.Event { return nil }
+func (ri *retireInjector) stats() injectorStats                 { return ri.st }
+
+// ---------------------------------------------------------------------------
+// Collection-lag injector
+// ---------------------------------------------------------------------------
+
+// lagInjector models a collection outage: events from a deterministic
+// fraction of the fleet that occur inside the lag window are withheld
+// and delivered only once the window closes (timestamps unchanged —
+// the errors happened on time, the telemetry arrived late).
+type lagInjector struct {
+	start, end trace.Minutes
+	targets    map[trace.DIMMID]bool
+	held       []trace.Event
+	st         injectorStats
+}
+
+func newLagInjector(c *injectCtx, actionIdx int, a Action) *lagInjector {
+	sub := xrand.Derive(c.seed, 0x1a60_0000+uint64(actionIdx)).Uint64()
+	li := &lagInjector{start: a.At, end: a.At + a.Duration, targets: map[trace.DIMMID]bool{}}
+	for _, i := range c.eligible(a.Platform) {
+		rng := xrand.Derive(sub, uint64(i))
+		if rng.Float64() < a.Fraction {
+			li.targets[c.dimms[i].ID] = true
+		}
+	}
+	return li
+}
+
+func (li *lagInjector) Tick(from, to trace.Minutes, in []trace.Event) []trace.Event {
+	out := in[:0]
+	for _, ev := range in {
+		if ev.Time >= li.start && ev.Time < li.end && li.targets[ev.DIMM] {
+			li.held = append(li.held, ev)
+			li.st.Lagged++
+			continue
+		}
+		out = append(out, ev)
+	}
+	if to > li.end && len(li.held) > 0 {
+		// Window closed inside (or before) this tick: backlog drains.
+		out = append(out, li.held...)
+		li.held = nil
+	}
+	return out
+}
+
+func (li *lagInjector) Flush(at trace.Minutes) []trace.Event {
+	held := li.held
+	li.held = nil
+	return held
+}
+
+func (li *lagInjector) stats() injectorStats { return li.st }

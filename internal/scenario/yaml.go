@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is a hand-rolled decoder for the YAML subset scenario files
+// use, mirroring how the rest of the repo avoids external module
+// dependencies. The subset is block-style YAML only:
+//
+//   - mappings:  `key: value` and `key:` introducing a nested block
+//   - sequences: `- value`, `- key: value` (map item), `-` (nested item)
+//   - scalars:   returned as raw strings (optionally single/double
+//     quoted); typing happens in the schema decoder, which knows what it
+//     expects
+//   - comments:  `#` to end of line, outside quotes
+//
+// Flow style (`{...}`, `[...]`), anchors, aliases, multi-line scalars and
+// tabs are rejected with positioned errors. Parsing never panics —
+// FuzzParseYAML enforces it — because malformed scenario files are user
+// input.
+
+// maxYAMLDepth bounds block nesting so hostile input cannot exhaust the
+// stack through recursion.
+const maxYAMLDepth = 32
+
+// yamlLine is one significant input line.
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content after indentation, comments stripped
+}
+
+// parseError is a positioned decode error.
+func parseError(num int, format string, args ...any) error {
+	return fmt.Errorf("yaml: line %d: %s", num, fmt.Sprintf(format, args...))
+}
+
+// ParseYAML parses the scenario YAML subset into nested
+// map[string]any / []any / string values. Scalars stay strings; the
+// schema layer converts them.
+func ParseYAML(src string) (any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, parseError(lines[0].num, "top-level block must start at column 0")
+	}
+	p := &yamlParser{lines: lines}
+	node, err := p.block(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, parseError(p.lines[p.pos].num, "unexpected content after top-level block")
+	}
+	return node, nil
+}
+
+// splitLines strips comments and blank lines and measures indentation.
+func splitLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(src, "\n") {
+		if strings.ContainsRune(raw, '\t') {
+			return nil, parseError(num+1, "tabs are not allowed; indent with spaces")
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		out = append(out, yamlLine{
+			num:    num + 1,
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+		})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `# ...` comment, honoring quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the block beginning at the current line, whose first line
+// sits at exactly the given indent. It consumes every line belonging to
+// the block (indent >= the block's) and returns the mapping or sequence.
+func (p *yamlParser) block(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, parseError(p.lines[p.pos].num, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.sequence(indent, depth)
+	}
+	return p.mapping(indent, depth)
+}
+
+// mapping parses `key: ...` lines at exactly the given indent.
+func (p *yamlParser) mapping(indent, depth int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, parseError(ln.num, "unexpected indent (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, parseError(ln.num, "sequence item inside a mapping block")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, parseError(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := scalar(ln.num, rest)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` introduces a nested block on the following deeper lines.
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+			return nil, parseError(ln.num, "key %q has no value", key)
+		}
+		child, err := p.block(p.lines[p.pos].indent, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = child
+	}
+	return m, nil
+}
+
+// sequence parses `- ...` items at exactly the given indent.
+func (p *yamlParser) sequence(indent, depth int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, parseError(ln.num, "unexpected indent (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, parseError(ln.num, "mapping key inside a sequence block")
+		}
+		if ln.text == "-" {
+			// Item is a nested block on the following deeper lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, parseError(ln.num, "sequence item has no value")
+			}
+			item, err := p.block(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		rest := strings.TrimLeft(ln.text[1:], " ")
+		itemIndent := ln.indent + (len(ln.text) - len(rest))
+		if isMapStart(rest) {
+			// `- key: value`: rewrite the line as the first key of the
+			// item's mapping, indented at the position after the dash, and
+			// let mapping() consume the item's remaining keys.
+			p.lines[p.pos] = yamlLine{num: ln.num, indent: itemIndent, text: rest}
+			item, err := p.mapping(itemIndent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		v, err := scalar(ln.num, rest)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+		p.pos++
+	}
+	return seq, nil
+}
+
+// splitKey splits a mapping line into key and inline value.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	if i < 0 {
+		return "", "", parseError(ln.num, "expected `key: value`, got %q", ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:i])
+	rest = strings.TrimSpace(ln.text[i+1:])
+	if key == "" {
+		return "", "", parseError(ln.num, "empty key")
+	}
+	if rest != "" && ln.text[i+1] != ' ' {
+		return "", "", parseError(ln.num, "missing space after colon in %q", ln.text)
+	}
+	for _, c := range key {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '-' || c == '.') {
+			return "", "", parseError(ln.num, "invalid character %q in key %q", c, key)
+		}
+	}
+	return key, rest, nil
+}
+
+// isMapStart reports whether a sequence item body begins a mapping
+// (`key:` or `key: value`) rather than being a scalar.
+func isMapStart(s string) bool {
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+// scalar validates and unquotes one scalar value.
+func scalar(num int, s string) (string, error) {
+	switch s[0] {
+	case '{', '[', '&', '*', '|', '>', '%', '@':
+		return "", parseError(num, "flow style / anchors / block scalars are not supported (value %q)", s)
+	case '\'', '"':
+		q := s[0]
+		if len(s) < 2 || s[len(s)-1] != q {
+			return "", parseError(num, "unterminated quoted scalar %q", s)
+		}
+		body := s[1 : len(s)-1]
+		if strings.ContainsRune(body, rune(q)) {
+			return "", parseError(num, "embedded quote in scalar %q", s)
+		}
+		return body, nil
+	}
+	if strings.Contains(s, ": ") || strings.HasSuffix(s, ":") {
+		return "", parseError(num, "unexpected colon in scalar %q (quote it if intended)", s)
+	}
+	return s, nil
+}
