@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-cache bench-quick test-race fuzz-short examples-smoke scenario-smoke ci
+.PHONY: all build test test-short vet fmt bench bench-cache bench-quick bounded-smoke test-race fuzz-short examples-smoke scenario-smoke ci
 
 all: build
 
@@ -35,48 +35,65 @@ bench-cache:
 # Per-phase benchmarks (generate / extract / train / eval), per-model
 # training benchmarks (forest / GBDT / FTT), per-algorithm artifact
 # benchmarks (envelope marshal / unmarshal / ScoreBatch throughput from
-# the predictor registry), and serving-throughput benchmarks (events/sec
+# the predictor registry), serving-throughput benchmarks (events/sec
 # replayed through the sharded online engine per production algorithm,
 # shards 1 vs N, against the preserved pre-refactor sequential baseline),
-# recorded as BENCH_PR7.json so the perf trajectory stays
-# machine-readable. BENCH_PR2/3/4/5/6.json are earlier PRs' snapshots —
-# keep them for comparison. New in PR 7: BenchmarkSimulateClean and
-# BenchmarkSimulateChaos record end-to-end scenario throughput
-# (events/sec through fleet generation, bootstrap training and the
-# injector chain) with and without chaos, so injector overhead stays
-# visible.
+# and scenario throughput with/without chaos, recorded as BENCH_PR8.json
+# so the perf trajectory stays machine-readable. BENCH_PR2..7.json are
+# earlier PRs' snapshots — keep them for comparison. New in PR 8: the
+# bounded-vs-unbounded replay rows (BenchmarkServeBounded/Unbounded at
+# the bench scale, BenchmarkServeScale05* at the half-fleet
+# demonstration scale) report peak_bytes (sampled heap high-water mark)
+# and bytes/dimm alongside events/sec, so the memory-budget layer's
+# footprint is on record next to its throughput cost.
 # The sub-second phases run 5 iterations for stable numbers; the
 # FT-Transformer fit (~9s per iteration) runs once; the multi-second
-# replays and scenario runs run 3. TrainGBDT is an alias of Train (same
-# body), so the JSON entry is derived from the one measurement rather
-# than fitting the booster twice.
+# replays and scenario runs run 3; the scale-0.5 demonstrations (tens of
+# seconds per replay, plus an untimed unbounded oracle pass inside the
+# bounded one) run once. TrainGBDT is an alias of Train (same body), so
+# the JSON entry is derived from the one measurement rather than fitting
+# the booster twice.
 bench-quick:
 	$(GO) test -run '^$$' -bench '^BenchmarkPhase(Generate|GenerateSequential|Extract|Train|TrainForest|Eval)$$' \
-		-benchtime 5x -timeout 30m . > BENCH_PR7.txt
+		-benchtime 5x -timeout 30m . > BENCH_PR8.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkPhaseTrainFTT$$' -benchtime 1x -timeout 30m . \
-		>> BENCH_PR7.txt
+		>> BENCH_PR8.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkModel(Marshal|Unmarshal|ScoreBatch)$$' \
-		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR7.txt
-	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchtime 3x -timeout 60m . \
-		>> BENCH_PR7.txt
+		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR8.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkServe(Baseline|LightGBM|RiskyCE|Forest|Logistic|FTT|Bounded$$|Unbounded$$)' \
+		-benchtime 3x -timeout 60m . >> BENCH_PR8.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkServeScale05' -benchtime 1x -timeout 60m . \
+		>> BENCH_PR8.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSimulate' -benchtime 3x -timeout 30m \
-		./internal/scenario/ >> BENCH_PR7.txt
-	cat BENCH_PR7.txt
-	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"benchmarks\": {" ; n=0 } \
-		/^Benchmark(Phase|Model|Serve|Simulate)/ { name=$$1; sub(/-[0-9]+$$/, "", name); sec=""; eps=""; \
+		./internal/scenario/ >> BENCH_PR8.txt
+	cat BENCH_PR8.txt
+	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"demo_scale\": 0.5,\n  \"benchmarks\": {" ; n=0 } \
+		/^Benchmark(Phase|Model|Serve|Simulate)/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			sec=""; eps=""; peak=""; bpd=""; \
 			for (i=2; i<=NF; i++) { \
 				if ($$(i) == "ns/op") sec=$$(i-1)/1e9; \
-				if ($$(i) == "events/sec" || $$(i) == "events/s") eps=$$(i-1) } \
+				if ($$(i) == "events/sec" || $$(i) == "events/s") eps=$$(i-1); \
+				if ($$(i) == "peak_bytes") peak=$$(i-1); \
+				if ($$(i) == "bytes/dimm") bpd=$$(i-1) } \
 			if (sec != "") { \
 				if (n++) printf ","; \
 				printf "\n    \"%s\": { \"seconds\": %.6f", name, sec; \
 				if (eps != "") printf ", \"events_per_sec\": %.0f", eps; \
+				if (peak != "") printf ", \"peak_bytes\": %.0f", peak; \
+				if (bpd != "") printf ", \"bytes_per_dimm\": %.0f", bpd; \
 				printf " }"; \
 				if (name == "BenchmarkPhaseTrain") \
 					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, sec } } \
-		END { print "\n  }\n}" }' BENCH_PR7.txt > BENCH_PR7.json
-	@rm -f BENCH_PR7.txt
-	@echo "wrote BENCH_PR7.json"
+		END { print "\n  }\n}" }' BENCH_PR8.txt > BENCH_PR8.json
+	@rm -f BENCH_PR8.txt
+	@echo "wrote BENCH_PR8.json"
+
+# Small-scale bounded-replay equivalence smoke: the budgeted engine (log
+# compaction + idle-DIMM eviction active) and the streaming-replay path
+# must both reproduce the unbounded engine's alarm stream byte for byte.
+bounded-smoke:
+	$(GO) test -run 'TestBoundedReplayMatchesUnbounded|TestReplayStreamMatchesReplay' \
+		-timeout 15m ./internal/mlops/
 
 # Race-detector pass over the concurrency-bearing packages: the worker
 # pool, the parallel fleet generator, the indexed trace store, sharded
@@ -86,7 +103,10 @@ bench-quick:
 # the FT-Transformer (training graph + arena'd inference), the predictor
 # registry, and the mlops serving engine (shard-local locking, concurrent
 # Ingest with mid-stream promotion through the epoch-cached production
-# model, hardened monitor counters, lazy scorer rehydration).
+# model, hardened monitor counters, lazy scorer rehydration, and — new
+# in PR 8 — the streaming fleet generator's producer/consumer handoff
+# plus the memory-budget layer's compaction and freeze/thaw churn under
+# concurrent ingest).
 test-race:
 	$(GO) test -race -timeout 20m ./internal/par/ ./internal/faultsim/ \
 		./internal/trace/ ./internal/features/ ./internal/pipeline/ \
@@ -115,4 +135,4 @@ scenario-smoke:
 	$(GO) run ./cmd/memfp simulate -validate scenarios/*.yaml
 	$(GO) run ./cmd/memfp simulate -o /tmp scenarios/*.yaml
 
-ci: build vet fmt test-race fuzz-short examples-smoke scenario-smoke test
+ci: build vet fmt test-race fuzz-short examples-smoke scenario-smoke bounded-smoke test

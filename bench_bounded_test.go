@@ -1,0 +1,191 @@
+package memfp
+
+// Bounded-memory serving benchmarks (PR 8): the same fleet replayed
+// through the unbounded engine (full store materialized, every DIMM's
+// state retained forever) and through the bounded path (streaming
+// generation + ReplayStream + MemoryBudget with log compaction and
+// idle-DIMM eviction). Each row reports events/sec, the process-level
+// peak heap (sampled runtime.ReadMemStats), and peak bytes per served
+// DIMM, so BENCH_PR8.json records the memory trajectory alongside
+// throughput. The bounded run asserts its alarm stream byte-identical to
+// the unbounded one — the demonstration half of the PR 8 acceptance bar
+// (the shard-count equivalence half lives in internal/mlops).
+//
+// BenchmarkServeScale05* run the demonstration scale (0.5 ≈ half the
+// paper's Purley fleet); BenchmarkServeBounded/Unbounded run the usual
+// bench scale for cheap trend tracking.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// demoScale is the PR 8 demonstration scale: ≥0.5 of the calibrated
+// Purley fleet.
+const demoScale = 0.5
+
+// demoBudget is the fixed serving-state cap for the bounded runs.
+const demoBudget = 64 << 20
+
+// heapWatcher samples the live heap in the background and records the
+// peak, so replays report their true high-water mark rather than the
+// post-GC residue.
+type heapWatcher struct {
+	peak atomic.Uint64
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+func watchHeap() *heapWatcher {
+	runtime.GC() // settle the baseline so the peak is the replay's own
+	w := &heapWatcher{stop: make(chan struct{})}
+	w.done.Add(1)
+	go func() {
+		defer w.done.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.peak.Load() {
+				w.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatcher) Peak() uint64 {
+	close(w.stop)
+	w.done.Wait()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > w.peak.Load() {
+		w.peak.Store(ms.HeapAlloc)
+	}
+	return w.peak.Load()
+}
+
+// boundedPipeline trains the production model at the bench scale — the
+// model is the same for every replay mode; only the serving path varies.
+func boundedPipeline(b *testing.B) *mlops.Pipeline {
+	b.Helper()
+	pipe, _, _ := servingFixture(b, model.NameGBDT)
+	return pipe
+}
+
+// benchUnboundedReplay materializes the fleet at the given scale and
+// replays it through the unbounded engine.
+func benchUnboundedReplay(b *testing.B, scale float64) {
+	pipe := boundedPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := watchHeap()
+		res, err := faultsim.Generate(faultsim.Config{Platform: platform.Purley, Scale: scale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := 0
+		for _, l := range res.Store.DIMMs() {
+			events += len(l.Events)
+		}
+		s := mlops.NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, 0)
+		start := time.Now()
+		if _, err := s.Replay(context.Background(), res.Store, nil); err != nil {
+			b.Fatal(err)
+		}
+		dimms := res.Store.Len()
+		peak := w.Peak()
+		b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/sec")
+		b.ReportMetric(float64(peak), "peak_bytes")
+		b.ReportMetric(float64(peak)/float64(dimms), "bytes/dimm")
+	}
+}
+
+// benchBoundedReplay streams the same fleet through a budgeted engine and
+// asserts the alarm stream byte-identical to the unbounded engine's.
+func benchBoundedReplay(b *testing.B, scale float64) {
+	pipe := boundedPipeline(b)
+	cfg := faultsim.Config{Platform: platform.Purley, Scale: scale, Seed: 42}
+
+	// Unbounded oracle, untimed: the alarm stream the bounded path must
+	// reproduce exactly.
+	res, err := faultsim.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := mlops.NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, 0)
+	var want []mlops.Alarm
+	if _, err := oracle.Replay(context.Background(), res.Store, func(a mlops.Alarm) {
+		want = append(want, a)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if len(want) == 0 {
+		b.Fatal("unbounded oracle emitted no alarms")
+	}
+	res, oracle = nil, nil
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := watchHeap()
+		st, err := faultsim.StreamFleet(context.Background(), cfg, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := mlops.NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, 0)
+		s.MemoryBudget = demoBudget
+		events, dimms := 0, 0
+		var got []mlops.Alarm
+		start := time.Now()
+		_, err = s.ReplayStream(context.Background(), func() (*trace.DIMMLog, bool, error) {
+			dt, ok, serr := st.Next()
+			if !ok || serr != nil {
+				return nil, false, serr
+			}
+			events += len(dt.Log.Events)
+			dimms++
+			return dt.Log, true, nil
+		}, func(a mlops.Alarm) { got = append(got, a) })
+		st.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if len(got) != len(want) {
+			b.Fatalf("bounded replay emitted %d alarms, unbounded %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				b.Fatalf("bounded alarm %d differs:\n got %+v\nwant %+v", j, got[j], want[j])
+			}
+		}
+		peak := w.Peak()
+		b.ReportMetric(float64(events)/elapsed.Seconds(), "events/sec")
+		b.ReportMetric(float64(peak), "peak_bytes")
+		b.ReportMetric(float64(peak)/float64(dimms), "bytes/dimm")
+	}
+}
+
+// Trend rows at the cheap bench scale.
+func BenchmarkServeUnbounded(b *testing.B) { benchUnboundedReplay(b, benchScale) }
+func BenchmarkServeBounded(b *testing.B)   { benchBoundedReplay(b, benchScale) }
+
+// The PR 8 demonstration: half the calibrated Purley fleet under a fixed
+// 64 MiB serving-state budget, byte-identical alarms to the unbounded
+// engine, with the peak heap of both modes on record.
+func BenchmarkServeScale05Unbounded(b *testing.B) { benchUnboundedReplay(b, demoScale) }
+func BenchmarkServeScale05Bounded(b *testing.B)   { benchBoundedReplay(b, demoScale) }

@@ -166,6 +166,7 @@ func cmdServe(args []string) error {
 	pf := fs.String("platform", string(platform.Purley), "platform ID")
 	trainer := fs.String("trainer", model.NameGBDT, "registry trainer the mlops loop ships")
 	shards := fs.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
+	membudget := fs.Int64("membudget", 0, "serving-state memory budget in MiB (0 = unbounded); alarms unchanged")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,13 +178,13 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, name, *scale, *seed, *shards)
+	return runServe(context.Background(), os.Stdout, pipeline.Shared, id, name, *scale, *seed, *shards, *membudget)
 }
 
 // runServe is the serve flow against an explicit writer and cache, so the
 // fig6 scenario can honor its Env contract.
 func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
-	id platform.ID, trainer string, scale float64, seed uint64, shards int) error {
+	id platform.ID, trainer string, scale float64, seed uint64, shards int, membudgetMiB int64) error {
 	res, err := cache.Get(ctx, faultsim.Config{Platform: id, Scale: scale, Seed: seed})
 	if err != nil {
 		return err
@@ -192,6 +193,7 @@ func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
 	pipe.Seed = seed
 	pipe.TrainerName = trainer
 	pipe.Shards = shards
+	pipe.MemoryBudget = membudgetMiB << 20
 	tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
 	if err != nil {
 		return err
@@ -215,6 +217,12 @@ func runServe(ctx context.Context, w io.Writer, cache *pipeline.FleetCache,
 	}
 	pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
 	fmt.Fprintf(w, "replayed stream: %d alarms emitted\n", n)
+	if membudgetMiB > 0 {
+		ms := server.MemoryStats()
+		fmt.Fprintf(w, "memory budget %d MiB: resident=%dB (%d DIMMs live, %d frozen), evictions=%d rehydrations=%d compactions=%d\n",
+			membudgetMiB, ms.ResidentBytes, ms.ResidentDIMMs, ms.FrozenDIMMs,
+			ms.Evictions, ms.Rehydrations, ms.Compactions)
+	}
 	fmt.Fprint(w, pipe.Monitor.Dashboard())
 	dec := pipe.Monitor.ShouldRetrain(0.25, 0.2)
 	fmt.Fprintf(w, "retraining decision: retrain=%v (%s)\n", dec.Retrain, dec.Reason)

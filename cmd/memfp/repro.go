@@ -26,7 +26,7 @@ func init() {
 			if out == nil {
 				out = io.Discard
 			}
-			return runServe(ctx, out, env.Fleets(), platform.Purley, model.NameGBDT, env.Scale*0.4, env.Seed, 0)
+			return runServe(ctx, out, env.Fleets(), platform.Purley, model.NameGBDT, env.Scale*0.4, env.Seed, 0, 0)
 		},
 	})
 }

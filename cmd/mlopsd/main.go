@@ -29,14 +29,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	trainer := flag.String("trainer", model.NameGBDT, "registry trainer the service ships")
 	shards := flag.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
+	membudget := flag.Int64("membudget", 0, "serving-state memory budget in MiB (0 = unbounded); alarms unchanged")
 	flag.Parse()
-	if err := run(platform.ID(*pf), *trainer, *scale, *seed, *shards); err != nil {
+	if err := run(platform.ID(*pf), *trainer, *scale, *seed, *shards, *membudget); err != nil {
 		fmt.Fprintf(os.Stderr, "mlopsd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(id platform.ID, trainer string, scale float64, seed uint64, shards int) error {
+func run(id platform.ID, trainer string, scale float64, seed uint64, shards int, membudgetMiB int64) error {
 	if _, err := platform.Get(id); err != nil {
 		return err
 	}
@@ -71,6 +72,7 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int)
 	pipe.Seed = seed
 	pipe.TrainerName = trainer
 	pipe.Shards = shards
+	pipe.MemoryBudget = membudgetMiB << 20
 
 	// Bootstrap: train on the first five months.
 	bootEnd := 150 * trace.Day
@@ -146,6 +148,7 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int)
 	}
 
 	fmt.Println()
+	server.MemoryStats() // refresh the dashboard's resident-bytes gauge
 	fmt.Print(pipe.Monitor.Dashboard())
 	fmt.Println("registry state:")
 	for _, v := range pipe.Registry.List() {

@@ -33,6 +33,9 @@ type Incremental struct {
 	faultyCells, faultyRows, faultyCols, faultyDevices int
 	maxCellCEs                                         int
 	events                                             int
+	// rowColEntries/colRowEntries count the members of the nested
+	// distinct-column/row sets, so MemEstimate stays O(1).
+	rowColEntries, colRowEntries int
 }
 
 // NewIncremental returns an empty incremental classifier.
@@ -76,6 +79,7 @@ func (x *Incremental) Add(e trace.Event) {
 	}
 	if _, ok := rs[a.Column]; !ok {
 		rs[a.Column] = struct{}{}
+		x.rowColEntries++
 		if len(rs) == x.th.RowDistinctCols {
 			x.faultyRows++
 			x.bankFaultyRows[bk]++
@@ -90,6 +94,7 @@ func (x *Incremental) Add(e trace.Event) {
 	}
 	if _, ok := cs[a.Row]; !ok {
 		cs[a.Row] = struct{}{}
+		x.colRowEntries++
 		if len(cs) == x.th.ColDistinctRows {
 			x.faultyCols++
 			x.bankFaultyCols[bk]++

@@ -1,0 +1,77 @@
+package analysis
+
+// Clone returns a deep copy of the accumulator: the copy and the original
+// may Add independently afterwards. Used by the feature extractor to seed
+// per-cursor lifetime state from a shared compaction fold without the
+// cursors aliasing each other's maps.
+func (x *Incremental) Clone() *Incremental {
+	c := &Incremental{
+		th:             x.th,
+		cellCEs:        make(map[cellKey]int, len(x.cellCEs)),
+		rowCols:        make(map[rowKey]map[int]struct{}, len(x.rowCols)),
+		colRows:        make(map[colKey]map[int]struct{}, len(x.colRows)),
+		devCEs:         make(map[int]int, len(x.devCEs)),
+		banksSeen:      make(map[bankKey]struct{}, len(x.banksSeen)),
+		bankFaultyRows: make(map[bankKey]int, len(x.bankFaultyRows)),
+		bankFaultyCols: make(map[bankKey]int, len(x.bankFaultyCols)),
+		faultyBanks:    make(map[bankKey]struct{}, len(x.faultyBanks)),
+
+		faultyCells:   x.faultyCells,
+		faultyRows:    x.faultyRows,
+		faultyCols:    x.faultyCols,
+		faultyDevices: x.faultyDevices,
+		maxCellCEs:    x.maxCellCEs,
+		events:        x.events,
+		rowColEntries: x.rowColEntries,
+		colRowEntries: x.colRowEntries,
+	}
+	for k, v := range x.cellCEs {
+		c.cellCEs[k] = v
+	}
+	for k, set := range x.rowCols {
+		s := make(map[int]struct{}, len(set))
+		for m := range set {
+			s[m] = struct{}{}
+		}
+		c.rowCols[k] = s
+	}
+	for k, set := range x.colRows {
+		s := make(map[int]struct{}, len(set))
+		for m := range set {
+			s[m] = struct{}{}
+		}
+		c.colRows[k] = s
+	}
+	for k, v := range x.devCEs {
+		c.devCEs[k] = v
+	}
+	for k := range x.banksSeen {
+		c.banksSeen[k] = struct{}{}
+	}
+	for k, v := range x.bankFaultyRows {
+		c.bankFaultyRows[k] = v
+	}
+	for k, v := range x.bankFaultyCols {
+		c.bankFaultyCols[k] = v
+	}
+	for k := range x.faultyBanks {
+		c.faultyBanks[k] = struct{}{}
+	}
+	return c
+}
+
+// MemEstimate returns an O(1) rough estimate of the accumulator's heap
+// footprint in bytes, for serving-side memory accounting. The constants
+// approximate Go map entry overhead; exactness is not required — the
+// budget enforcement only needs the estimate to grow with the state.
+func (x *Incremental) MemEstimate() int64 {
+	const (
+		mapEntry = 48 // bucket share + key/value storage, amortized
+		innerMap = 96 // hmap header + first bucket of a nested set
+	)
+	n := int64(len(x.cellCEs)+len(x.devCEs)+len(x.banksSeen)+
+		len(x.bankFaultyRows)+len(x.bankFaultyCols)+len(x.faultyBanks)) * mapEntry
+	n += int64(len(x.rowCols)+len(x.colRows)) * (mapEntry + innerMap)
+	n += int64(x.rowColEntries+x.colRowEntries) * 16
+	return n + 256 // struct + map headers
+}

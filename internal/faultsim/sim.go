@@ -115,27 +115,27 @@ func Generate(cfg Config) (*Result, error) {
 	return GenerateCtx(context.Background(), cfg)
 }
 
-// GenerateCtx is Generate with cancellation. DIMMs are sharded across a
-// worker pool (cfg.Workers); each DIMM's randomness comes from
-// xrand.Derive(base, dimmIndex), so the output is independent of worker
-// count and scheduling order.
-func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
+// buildEnv validates cfg and constructs the shared per-DIMM generation
+// environment plus the CE-DIMM count — the common front half of
+// GenerateCtx and StreamFleet, factored out so the streaming generator is
+// byte-identical to the materializing one by construction.
+func buildEnv(cfg Config) (*genEnv, int, error) {
 	if cfg.Scale <= 0 {
-		return nil, fmt.Errorf("faultsim: scale must be positive, got %v", cfg.Scale)
+		return nil, 0, fmt.Errorf("faultsim: scale must be positive, got %v", cfg.Scale)
 	}
 	p, err := platform.Get(cfg.Platform)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	calib := cfg.Calib
 	if calib == nil {
 		calib, err = DefaultCalibration(cfg.Platform)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if err := calib.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	maxEvents := cfg.MaxEventsPerDIMM
 	if maxEvents <= 0 {
@@ -143,7 +143,7 @@ func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	for _, reg := range cfg.Regimes {
 		if err := reg.Validate(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 
@@ -184,6 +184,25 @@ func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if nCE < 1 {
 		nCE = 1
 	}
+	return env, nCE, nil
+}
+
+// suddenCount sizes the sudden-UE population so the sudden/predictable
+// split matches Table I.
+func suddenCount(calib *Calibration, predictableUEs int) int {
+	return int(math.Round(float64(predictableUEs) * calib.SuddenShare / (1 - calib.SuddenShare)))
+}
+
+// GenerateCtx is Generate with cancellation. DIMMs are sharded across a
+// worker pool (cfg.Workers); each DIMM's randomness comes from
+// xrand.Derive(base, dimmIndex), so the output is independent of worker
+// count and scheduling order.
+func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
+	env, nCE, err := buildEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, calib := env.platform, env.calib
 
 	store := trace.NewStore()
 	truth := &GroundTruth{ByDIMM: make(map[trace.DIMMID]*Truth)}
@@ -220,10 +239,9 @@ func GenerateCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Sudden-UE DIMMs: UEs with no CE history, sized so the
-	// sudden/predictable split matches Table I. Their stream indices start
+	// Sudden-UE DIMMs: UEs with no CE history. Their stream indices start
 	// at nCE, after the CE DIMMs'.
-	nSudden := int(math.Round(float64(predictableUEs) * calib.SuddenShare / (1 - calib.SuddenShare)))
+	nSudden := suddenCount(calib, predictableUEs)
 	sudden, err := par.MapN(ctx, cfg.Workers, nSudden, shardName,
 		func(_ context.Context, i int) (*dimmShard, error) {
 			return genSuddenDIMM(env, nCE, i)

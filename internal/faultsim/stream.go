@@ -1,0 +1,194 @@
+package faultsim
+
+import (
+	"context"
+	"fmt"
+
+	"memfp/internal/par"
+	"memfp/internal/trace"
+)
+
+// Streaming fleet generation. Generate materializes the whole fleet in
+// one trace.Store before anything can consume it — fine for training
+// runs, prohibitive for serving-scale replay where the store dwarfs the
+// serving state it feeds. StreamFleet exploits the generator's
+// index-addressable randomness (every DIMM draws from
+// xrand.Derive(base, dimmIndex)) to yield the same fleet one DIMM at a
+// time, in index order, with a bounded number of DIMMs in flight.
+//
+// Each yielded DIMMTrace carries the DIMM's *finished* log: sorted and
+// storm-annotated by exactly the per-log pipeline Generate runs
+// (SortEvents → DetectStorms → append → SortEvents), so the streamed
+// fleet is byte-identical to the materialized one — same DIMM order, same
+// per-log event slices, same ground truth (pinned by
+// TestStreamMatchesGenerate for several chunk sizes and worker counts).
+
+// DIMMTrace is one streamed DIMM: its ground truth and its finished,
+// indexed per-DIMM log — the same state the DIMM has in a Generate
+// result's store.
+type DIMMTrace struct {
+	Truth *Truth
+	Log   *trace.DIMMLog
+}
+
+// chunkResult is one producer batch (or its terminal error).
+type chunkResult struct {
+	traces []*DIMMTrace
+	err    error
+}
+
+// Stream yields a generated fleet DIMM by DIMM. Obtain one from
+// StreamFleet; it is not safe for concurrent use. Generation runs ahead
+// on a background worker pool, at most three chunks deep (one being
+// consumed, one buffered, one being generated), so peak memory is
+// O(chunk) DIMM logs regardless of fleet scale.
+type Stream struct {
+	cancel context.CancelFunc
+	ch     chan chunkResult
+	cur    []*DIMMTrace
+	pos    int
+	nCE    int
+	err    error
+	closed bool
+}
+
+// StreamFleet starts streaming generation of the cfg fleet, yielding
+// DIMMs in the same order Generate registers them: the CE population
+// (indices 0..nCE-1) followed by the sudden-UE population, whose size
+// depends on the CE phase's predictable-UE count exactly as in Generate.
+// chunk bounds the in-flight buffer (DIMMs per generation batch); <= 0
+// uses 512. Cancel ctx or call Close to abandon the stream; a consumer
+// that drains to the end may skip Close.
+func StreamFleet(ctx context.Context, cfg Config, chunk int) (*Stream, error) {
+	env, nCE, err := buildEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		chunk = 512
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	s := &Stream{cancel: cancel, ch: make(chan chunkResult, 1), nCE: nCE}
+	storm := trace.DefaultStormConfig()
+
+	go func() {
+		defer close(s.ch)
+		send := func(res chunkResult) bool {
+			select {
+			case s.ch <- res:
+				return res.err == nil
+			case <-ictx.Done():
+				return false
+			}
+		}
+		// run generates DIMM indices [lo, hi) of one population and
+		// finishes their logs, preserving index order.
+		run := func(lo, hi int, gen func(i int) (*dimmShard, error)) ([]*dimmShard, bool) {
+			name := func(j int) string { return fmt.Sprintf("gen/%s/dimm%06d", cfg.Platform, lo+j) }
+			shards, err := par.MapN(ictx, cfg.Workers, hi-lo, name,
+				func(_ context.Context, j int) (*dimmShard, error) { return gen(lo + j) })
+			if err != nil {
+				send(chunkResult{err: err})
+				return nil, false
+			}
+			traces := make([]*DIMMTrace, len(shards))
+			par.ForEachN(cfg.Workers, len(shards), func(i int) {
+				traces[i] = finishDIMM(shards[i], storm)
+			})
+			return shards, send(chunkResult{traces: traces})
+		}
+
+		predictable := 0
+		for lo := 0; lo < nCE; lo += chunk {
+			hi := lo + chunk
+			if hi > nCE {
+				hi = nCE
+			}
+			shards, ok := run(lo, hi, func(i int) (*dimmShard, error) { return genCEDIMM(env, i) })
+			if !ok {
+				return
+			}
+			for _, sh := range shards {
+				if sh.truth.UE() {
+					predictable++
+				}
+			}
+		}
+		// The sudden population is sized by the full CE phase, which has
+		// just completed — the stream learns it exactly when Generate does.
+		nSudden := suddenCount(env.calib, predictable)
+		for lo := 0; lo < nSudden; lo += chunk {
+			hi := lo + chunk
+			if hi > nSudden {
+				hi = nSudden
+			}
+			if _, ok := run(lo, hi, func(i int) (*dimmShard, error) {
+				return genSuddenDIMM(env, nCE, i)
+			}); !ok {
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+// finishDIMM turns a raw generation shard into its final log through the
+// same per-log pipeline Generate applies store-wide: sort, detect storms
+// over the indexed CE view, append them, re-sort. Identical inputs and
+// identical operations make the streamed log byte-identical to the
+// materialized one.
+func finishDIMM(sh *dimmShard, storm trace.StormConfig) *DIMMTrace {
+	l := &trace.DIMMLog{ID: sh.truth.ID, Part: sh.truth.Part, Events: sh.events}
+	l.SortEvents()
+	if storms := trace.DetectStorms(l.CEs(), storm); len(storms) > 0 {
+		l.Events = append(l.Events, storms...)
+		l.SortEvents()
+	}
+	return &DIMMTrace{Truth: sh.truth, Log: l}
+}
+
+// CEDIMMs returns the size of the CE population (the fleet's DIMM count
+// minus the sudden-UE population, whose size is only known once the CE
+// phase has streamed past).
+func (s *Stream) CEDIMMs() int { return s.nCE }
+
+// Next returns the next DIMM in index order. The second result is false
+// when the fleet is exhausted (or after an error); a non-nil error is
+// sticky and also ends the stream. Cancellation of the StreamFleet ctx
+// surfaces here as its error.
+func (s *Stream) Next() (*DIMMTrace, bool, error) {
+	for {
+		if s.err != nil {
+			return nil, false, s.err
+		}
+		if s.pos < len(s.cur) {
+			t := s.cur[s.pos]
+			s.cur[s.pos] = nil // release for GC as the consumer moves on
+			s.pos++
+			return t, true, nil
+		}
+		if s.closed {
+			return nil, false, nil
+		}
+		res, ok := <-s.ch
+		if !ok {
+			s.closed = true
+			return nil, false, nil
+		}
+		if res.err != nil {
+			s.err = res.err
+			return nil, false, s.err
+		}
+		s.cur, s.pos = res.traces, 0
+	}
+}
+
+// Close abandons the stream and releases its generation workers. Safe to
+// call multiple times and after exhaustion.
+func (s *Stream) Close() {
+	s.cancel()
+	for range s.ch { // drain so the producer's send unblocks
+	}
+	s.closed = true
+	s.cur, s.pos = nil, 0
+}

@@ -1,0 +1,124 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"memfp/internal/platform"
+)
+
+// TestStreamMatchesGenerate pins the streaming generator's contract: for
+// any chunk size and worker count, StreamFleet yields the same DIMMs, in
+// the same order, with byte-identical event logs and ground truth as the
+// materializing Generate.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Platform: platform.Purley, Scale: 0.02, Seed: 99}
+	ref, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		chunk   int
+		workers int
+	}{
+		{"chunk1", 1, 0},
+		{"chunk7", 7, 0},
+		{"chunk512", 512, 0},
+		{"chunk7-seq", 7, 1},
+		{"chunk64-w3", 64, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cfg
+			c.Workers = tc.workers
+			st, err := StreamFleet(context.Background(), c, tc.chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			if st.CEDIMMs() == 0 {
+				t.Fatal("no CE DIMMs")
+			}
+			i := 0
+			for {
+				dt, ok, err := st.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if i >= len(ref.Truth.List) {
+					t.Fatalf("stream yielded more than %d DIMMs", len(ref.Truth.List))
+				}
+				want := ref.Truth.List[i]
+				if !reflect.DeepEqual(dt.Truth, want) {
+					t.Fatalf("DIMM %d: truth mismatch\n got %+v\nwant %+v", i, dt.Truth, want)
+				}
+				wl := ref.Store.Get(want.ID)
+				if wl == nil {
+					t.Fatalf("DIMM %d (%s): missing from reference store", i, want.ID)
+				}
+				if dt.Log.ID != wl.ID || dt.Log.Part != wl.Part {
+					t.Fatalf("DIMM %d: log identity mismatch", i)
+				}
+				if !reflect.DeepEqual(dt.Log.Events, wl.Events) {
+					t.Fatalf("DIMM %d (%s): event log mismatch (%d vs %d events)",
+						i, want.ID, len(dt.Log.Events), len(wl.Events))
+				}
+				i++
+			}
+			if i != len(ref.Truth.List) {
+				t.Fatalf("stream yielded %d DIMMs, Generate produced %d", i, len(ref.Truth.List))
+			}
+		})
+	}
+}
+
+// TestStreamCancel checks that abandoning a stream — via ctx cancellation
+// or Close — terminates it promptly instead of leaking the producer.
+func TestStreamCancel(t *testing.T) {
+	cfg := Config{Platform: platform.Purley, Scale: 0.05, Seed: 7}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := StreamFleet(ctx, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	// The producer stops at the next send or MapN iteration; the consumer
+	// sees either a cancellation error or a clean end of stream.
+	for {
+		_, ok, err := st.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	st.Close() // must be safe after exhaustion
+
+	st2, err := StreamFleet(context.Background(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st2.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	st2.Close()
+	st2.Close() // idempotent
+	if _, ok, err := st2.Next(); ok || err != nil {
+		t.Fatalf("Next after Close: ok=%v err=%v", ok, err)
+	}
+}

@@ -130,15 +130,22 @@ type Cursor struct {
 	pos      int // CEs consumed so far: ces[:pos] all have Time <= last t
 	stormPos int // storms consumed so far
 
-	// Lifetime accumulators over ces[:pos].
+	// Base counts contributed by a compacted-away prefix (FoldState);
+	// zero on an uncompacted log.
+	ceBase, stormBase int
+
+	// Lifetime accumulators over the fold seed plus ces[:pos].
 	firstCE, lastCE trace.Minutes
 	life            *analysis.Incremental
 }
 
 // NewCursor starts an extraction pass over l from the beginning of its
-// history.
+// retained history. When the log carries a FoldState from CompactLog, the
+// cursor seeds its lifetime accumulators from it, so extraction over a
+// compacted log equals extraction over the uncompacted original at every
+// instant whose observation window clears the compaction horizon.
 func (x *Extractor) NewCursor(l *trace.DIMMLog) *Cursor {
-	return &Cursor{
+	c := &Cursor{
 		x:       x,
 		l:       l,
 		ces:     l.CEs(),
@@ -147,6 +154,14 @@ func (x *Extractor) NewCursor(l *trace.DIMMLog) *Cursor {
 		lastCE:  -1,
 		life:    analysis.NewIncremental(x.Thresholds),
 	}
+	if fs, ok := l.FoldState().(*FoldState); ok && fs != nil {
+		c.ceBase, c.stormBase = fs.ces, fs.storms
+		if fs.hasCE {
+			c.firstCE, c.lastCE = fs.firstCE, fs.lastCE
+		}
+		c.life = fs.life.Clone()
+	}
+	return c
 }
 
 // advance consumes events up to and including instant t.
@@ -182,9 +197,9 @@ func (c *Cursor) ExtractAt(t trace.Minutes) []float64 {
 	ce5dStart := sort.Search(c.pos, func(i int) bool { return c.ces[i].Time >= t-w })
 	windowCEs := c.ces[ce5dStart:c.pos]
 	ce5d := len(windowCEs)
-	ceTotal := c.pos
+	ceTotal := c.ceBase + c.pos
 
-	stormsTotal := c.stormPos
+	stormsTotal := c.stormBase + c.stormPos
 	storms5d := c.stormPos - sort.Search(c.stormPos, func(i int) bool { return c.storms[i] >= t-w })
 
 	activeDays := map[trace.Minutes]struct{}{}

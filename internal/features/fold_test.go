@@ -1,0 +1,146 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+
+	"memfp/internal/trace"
+)
+
+// TestCompactLogCursorEquivalence replays real DIMM histories through a
+// live log that is compacted behind the prediction point — the serving
+// engine's pattern — and checks every cursor vector against the
+// independent full-scan oracle over an uncompacted twin. Compaction must
+// be invisible to extraction.
+func TestCompactLogCursorEquivalence(t *testing.T) {
+	w := x0.Windows.Observation
+	for _, src := range busyLogs(t, 10, 5) {
+		live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+		oracle := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+		sc := x0.NewServeCursor(live)
+		checked, compactions := 0, 0
+		for _, e := range src.Events {
+			live.Append(e)
+			oracle.Append(e)
+			if e.Type != trace.TypeCE {
+				continue
+			}
+			got := sc.ExtractAt(e.Time)
+			want := naiveExtract(x0, oracle, e.Time)
+			if !reflect.DeepEqual(got, want) {
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("%s @%v (after %d compactions): feature %q compacted %v != oracle %v",
+							src.ID, e.Time, compactions, Names()[k], got[k], want[k])
+					}
+				}
+			}
+			checked++
+			// Compact behind the observation window after every few
+			// predictions, like the engine does after each prediction.
+			if checked%3 == 0 && x0.CompactLog(live, e.Time-w) > 0 {
+				compactions++
+			}
+		}
+		if compactions == 0 {
+			t.Fatalf("%s: compaction never dropped events; test proves nothing", src.ID)
+		}
+		if live.CompactedEvents()+len(live.Events) != len(oracle.Events) {
+			t.Fatalf("%s: dropped+retained != total", src.ID)
+		}
+	}
+}
+
+// TestCompactLogOutOfOrderRecovery drives the fallback path on a compacted
+// log: an out-of-order append (above the horizon) degrades the index; the
+// degraded extraction must honor the documented contract (equal to a fresh
+// offline Extract over the same log), and after the re-sort the serving
+// engine performs, vectors must again match the uncompacted oracle exactly.
+func TestCompactLogOutOfOrderRecovery(t *testing.T) {
+	w := x0.Windows.Observation
+	src := busyLogs(t, 30, 1)[0]
+	live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+	oracle := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+	sc := x0.NewServeCursor(live)
+
+	ces := src.CEs()
+	half := len(src.Events) / 2
+	var lastT trace.Minutes
+	for _, e := range src.Events[:half] {
+		live.Append(e)
+		oracle.Append(e)
+		if e.Type == trace.TypeCE {
+			sc.ExtractAt(e.Time)
+			lastT = e.Time
+		}
+	}
+	if x0.CompactLog(live, lastT-w) == 0 {
+		t.Fatal("compaction dropped nothing; pick a busier fixture")
+	}
+
+	// A late event newer than the horizon but older than the last served
+	// instant: legal retrograde traffic that degrades the index.
+	stale := ces[0]
+	stale.Time = lastT - 1
+	live.Append(stale)
+	oracle.Append(stale)
+	if live.Indexed() {
+		t.Fatal("out-of-order append should degrade the index")
+	}
+	if got, want := sc.ExtractAt(lastT+1), x0.Extract(live, lastT+1); !reflect.DeepEqual(got, want) {
+		t.Fatal("degraded cursor diverged from offline extraction over the same compacted log")
+	}
+
+	// The serving engine re-sorts immediately; from then on the compacted
+	// log must track the (equally re-sorted) uncompacted oracle exactly.
+	live.SortEvents()
+	oracle.SortEvents()
+	checked := 0
+	for _, e := range src.Events[half:] {
+		live.Append(e)
+		oracle.Append(e)
+		if e.Type != trace.TypeCE || e.Time <= lastT {
+			continue
+		}
+		if got, want := sc.ExtractAt(e.Time), naiveExtract(x0, oracle, e.Time); !reflect.DeepEqual(got, want) {
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("@%v post-recovery: feature %q compacted %v != oracle %v",
+						e.Time, Names()[k], got[k], want[k])
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no post-recovery instants checked")
+	}
+}
+
+// TestFoldStateSeedsFreshCursor pins the seeding path directly: a brand-new
+// cursor over a compacted log (the eviction-thaw case — no surviving
+// ServeCursor) must equal the oracle at the first instant it serves.
+func TestFoldStateSeedsFreshCursor(t *testing.T) {
+	w := x0.Windows.Observation
+	for _, src := range busyLogs(t, 20, 3) {
+		live := &trace.DIMMLog{ID: src.ID, Part: src.Part}
+		for _, e := range src.Events {
+			live.Append(e)
+		}
+		ces := live.CEs()
+		at := ces[len(ces)-1].Time
+		if x0.CompactLog(live, at-w) == 0 {
+			continue
+		}
+		got := x0.NewServeCursor(live).ExtractAt(at)
+		want := naiveExtract(x0, src, at)
+		if !reflect.DeepEqual(got, want) {
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("%s @%v: feature %q fresh-over-compacted %v != oracle %v",
+						src.ID, at, Names()[k], got[k], want[k])
+				}
+			}
+		}
+	}
+}

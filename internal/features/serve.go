@@ -74,3 +74,18 @@ func (c *Cursor) refresh() {
 	c.ces = c.l.CEs()
 	c.storms = c.l.StormTimes()
 }
+
+// MemEstimate returns a rough heap-footprint estimate in bytes for
+// serving-side memory accounting. The per-type views are shared with the
+// log's index and not counted; the dominant owned state is the lifetime
+// fault-analysis accumulators.
+func (c *Cursor) MemEstimate() int64 { return 128 + c.life.MemEstimate() }
+
+// MemEstimate returns a rough heap-footprint estimate in bytes of the
+// cursor's owned state (see Cursor.MemEstimate).
+func (sc *ServeCursor) MemEstimate() int64 {
+	if sc.inner == nil {
+		return 64
+	}
+	return 64 + sc.inner.MemEstimate()
+}

@@ -142,6 +142,22 @@ func (fs *FeatureStore) NewServeCursor(l *trace.DIMMLog) *features.ServeCursor {
 	return fs.extractor.NewServeCursor(l)
 }
 
+// ObservationWindow returns the extractor's history window Δtd — the
+// furthest any served feature looks back from the prediction instant, and
+// therefore the minimum history the serving engine must retain when it
+// compacts logs.
+func (fs *FeatureStore) ObservationWindow() trace.Minutes {
+	return fs.extractor.Windows.Observation
+}
+
+// CompactLog drops l's events before cut, folding them into the log's
+// feature fold state so extraction over the compacted log stays exact for
+// every instant whose observation window clears cut (see
+// features.Extractor.CompactLog). Returns the number of events dropped.
+func (fs *FeatureStore) CompactLog(l *trace.DIMMLog, cut trace.Minutes) int {
+	return fs.extractor.CompactLog(l, cut)
+}
+
 // SelectIndices maps a feature-name selection to vector indices,
 // supporting Data Scientists' on-demand feature selection.
 func (fs *FeatureStore) SelectIndices(names []string) ([]int, error) {

@@ -1,0 +1,366 @@
+package mlops
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+
+	"memfp/internal/dram"
+	"memfp/internal/features"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Memory-bounded serving. With Server.MemoryBudget set, the engine keeps
+// its resident serving state under the budget through two mechanisms,
+// neither of which changes the emitted alarm stream:
+//
+//   - Log compaction: after a prediction at instant t, the DIMM's events
+//     before t - RetainWindow are folded into incremental summaries
+//     (trace.DIMMLog.CompactBefore via the feature store's fold state) and
+//     dropped. Every later prediction's observation window starts at or
+//     above the compaction horizon, so feature vectors and rule-model
+//     scores are unchanged.
+//
+//   - Idle-DIMM eviction: when a shard's resident bytes exceed its slice
+//     of the budget, the least-recently-served DIMMs are frozen — their
+//     retained events serialized to a compact varint blob alongside the
+//     throttle/cooldown scalars and the compaction snapshot — and the live
+//     state released. The next event for a frozen DIMM thaws it: the log
+//     is rebuilt from the blob, the compaction snapshot reinstated, and
+//     the extraction cursor reconstructed from the log's fold state, which
+//     seeds it with the dropped prefix's contribution. Reconstruction is
+//     exact, so eviction is invisible to scoring (pinned by
+//     TestEvictionTransparent and the bounded-replay equivalence tests).
+//
+// Both policies are pure functions of the event stream (arrival order and
+// event times; no wall clock), so bounded runs are reproducible and
+// byte-identical across shard counts, like everything else in the engine.
+
+// eventSize is the in-memory size of one trace.Event, the unit of the
+// resident-bytes accounting.
+var eventSize = int64(reflect.TypeOf(trace.Event{}).Size())
+
+// dimmStateBase approximates the fixed overhead of one resident DIMM:
+// struct, map entry, log header and index bookkeeping.
+const dimmStateBase = 512
+
+// frozenBase approximates the fixed overhead of one frozen DIMM.
+const frozenBase = 160
+
+// footprint estimates the resident bytes of one DIMM's serving state.
+func (st *dimmState) footprint() int64 {
+	b := int64(dimmStateBase) + int64(cap(st.log.Events))*eventSize
+	if st.cursor != nil {
+		b += st.cursor.MemEstimate()
+	}
+	if fs, ok := st.log.FoldState().(*features.FoldState); ok && fs != nil {
+		b += fs.MemEstimate()
+	}
+	return b
+}
+
+// frozenDIMM is an evicted DIMM's serving state, serialized: everything
+// needed to reconstruct scoring-identical live state on the next event.
+type frozenDIMM struct {
+	part   platform.DIMMPart
+	blob   []byte // varint-coded retained events (see encodeEvents)
+	events int
+	snap   trace.CompactionSnapshot // carries the live fold state pointer
+
+	lastPred  trace.Minutes
+	lastAlarm trace.Minutes
+	alarmed   bool
+
+	bytes int64 // accounted resident size
+}
+
+// encodeEvents serializes a time-sorted event slice with delta-coded
+// times. The DIMM identity is implicit (one blob per DIMM).
+func encodeEvents(events []trace.Event) []byte {
+	buf := make([]byte, 0, 8*len(events))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	var prev trace.Minutes
+	for _, e := range events {
+		putU(uint64(e.Time - prev))
+		prev = e.Time
+		buf = append(buf, byte(e.Type))
+		put(int64(e.Addr.Rank))
+		put(int64(e.Addr.Device))
+		put(int64(e.Addr.Bank))
+		put(int64(e.Addr.Row))
+		put(int64(e.Addr.Column))
+		put(int64(e.Bits.Width))
+		putU(e.Bits.Mask)
+	}
+	return buf
+}
+
+// decodeEvents rebuilds the event slice of one frozen DIMM.
+func decodeEvents(blob []byte, n int, id trace.DIMMID) ([]trace.Event, error) {
+	events := make([]trace.Event, 0, n)
+	pos := 0
+	get := func() int64 {
+		v, k := binary.Varint(blob[pos:])
+		pos += k
+		return v
+	}
+	var prev trace.Minutes
+	for i := 0; i < n; i++ {
+		dt, k := binary.Uvarint(blob[pos:])
+		if k <= 0 || pos+k >= len(blob) {
+			return nil, fmt.Errorf("mlops: corrupt frozen blob for %s (event %d/%d)", id, i, n)
+		}
+		pos += k
+		e := trace.Event{Time: prev + trace.Minutes(dt), Type: trace.EventType(blob[pos]), DIMM: id}
+		pos++
+		prev = e.Time
+		e.Addr.Rank = int(get())
+		e.Addr.Device = int(get())
+		e.Addr.Bank = int(get())
+		e.Addr.Row = int(get())
+		e.Addr.Column = int(get())
+		e.Bits.Width = dram.Width(get())
+		mask, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("mlops: corrupt frozen blob for %s (event %d/%d)", id, i, n)
+		}
+		pos += k
+		e.Bits.Mask = mask
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// freezeDIMM serializes one DIMM's live serving state. The log is sorted
+// at every eviction point (ingestLocked restores the index immediately
+// after any out-of-order append), so delta coding is safe; the defensive
+// sort covers misuse.
+func freezeDIMM(st *dimmState) *frozenDIMM {
+	if !st.log.Indexed() {
+		st.log.SortEvents()
+	}
+	fz := &frozenDIMM{
+		part:     st.log.Part,
+		events:   len(st.log.Events),
+		snap:     st.log.Compaction(),
+		lastPred: st.lastPred, lastAlarm: st.lastAlarm, alarmed: st.alarmed,
+	}
+	fz.blob = encodeEvents(st.log.Events)
+	fz.bytes = frozenBase + int64(cap(fz.blob))
+	if fs, ok := fz.snap.Fold.(*features.FoldState); ok && fs != nil {
+		fz.bytes += fs.MemEstimate()
+	}
+	return fz
+}
+
+// thaw reconstructs live serving state from a frozen DIMM. The extraction
+// cursor is rebuilt lazily on the next vector prediction; the restored
+// fold state seeds it with the compacted prefix's contribution, so the
+// first post-thaw vector already equals the never-evicted one.
+func (fz *frozenDIMM) thaw(id trace.DIMMID) (*dimmState, error) {
+	events, err := decodeEvents(fz.blob, fz.events, id)
+	if err != nil {
+		return nil, err
+	}
+	l := &trace.DIMMLog{ID: id, Part: fz.part, Events: events}
+	l.RestoreCompaction(fz.snap)
+	l.SortEvents()
+	return &dimmState{log: l, lastPred: fz.lastPred, lastAlarm: fz.lastAlarm, alarmed: fz.alarmed}, nil
+}
+
+// account refreshes st's footprint in the shard's resident tally and
+// marks it most recently served. Shard lock held; called only when a
+// budget is set.
+func (sh *shard) account(st *dimmState) {
+	nb := st.footprint()
+	sh.resident += nb - st.bytes
+	st.bytes = nb
+	if st.lruEl == nil {
+		st.lruEl = sh.lru.PushBack(st)
+	} else {
+		sh.lru.MoveToBack(st.lruEl)
+	}
+}
+
+// releaseLocked drops every trace of one DIMM's serving state — live and
+// frozen — returning its bytes to the shard. Used by streaming replay
+// (state is final once a DIMM's log has drained) and ReplaceDIMM.
+func (sh *shard) releaseLocked(id trace.DIMMID) {
+	if st, ok := sh.dimms[id]; ok {
+		sh.resident -= st.bytes
+		if st.lruEl != nil {
+			sh.lru.Remove(st.lruEl)
+			st.lruEl = nil
+		}
+		delete(sh.dimms, id)
+	}
+	if fz, ok := sh.frozen[id]; ok {
+		sh.resident -= fz.bytes
+		delete(sh.frozen, id)
+	}
+}
+
+// retainWindow resolves the compaction retention: the configured
+// RetainWindow, floored at the feature store's observation window so
+// compaction can never reach into a window any feature still reads.
+func (s *Server) retainWindow() trace.Minutes {
+	w := trace.Minutes(0)
+	if s.Store != nil {
+		w = s.Store.ObservationWindow()
+	}
+	if s.RetainWindow > w {
+		return s.RetainWindow
+	}
+	return w
+}
+
+// maybeCompact runs the post-prediction compaction policy for one DIMM:
+// at most once per RetainWindow/4 of stream time, drop the log prefix
+// older than t - RetainWindow. Shard lock held.
+func (s *Server) maybeCompact(st *dimmState, t trace.Minutes) {
+	if s.MemoryBudget <= 0 || s.Store == nil {
+		return
+	}
+	if t < st.nextCompact {
+		return
+	}
+	retain := s.retainWindow()
+	st.nextCompact = t + retain/4 + 1
+	cut := t - retain
+	if cut <= 0 || len(st.log.Events) == 0 || st.log.Events[0].Time >= cut {
+		return
+	}
+	if n := s.Store.CompactLog(st.log, cut); n > 0 {
+		s.compactions.Add(1)
+		s.compactedEvents.Add(int64(n))
+		if s.monitor != nil {
+			s.monitor.CountCompaction(n)
+		}
+	}
+}
+
+// maybeEvict enforces the shard's slice of the memory budget by freezing
+// least-recently-served DIMMs. Cooldown-aware: a first pass spares DIMMs
+// inside their alarm cooldown (they are the fleet's hottest modules); a
+// second pass freezes even those if the budget is still exceeded. The
+// most recently served DIMM is never evicted, so a single DIMM larger
+// than the shard budget cannot thrash. Shard lock held; callers must
+// ensure no pending predictions reference shard state (call after
+// flushPending).
+func (s *Server) maybeEvict(sh *shard, now trace.Minutes) {
+	if s.MemoryBudget <= 0 {
+		return
+	}
+	budget := s.MemoryBudget / int64(len(s.shards))
+	if sh.resident <= budget {
+		return
+	}
+	for pass := 0; pass < 2 && sh.resident > budget; pass++ {
+		for el := sh.lru.Front(); el != nil && sh.resident > budget; {
+			next := el.Next()
+			if next == nil { // tail: the DIMM just served stays resident
+				break
+			}
+			st := el.Value.(*dimmState)
+			if pass == 0 && st.alarmed && now-st.lastAlarm < s.Cooldown {
+				el = next
+				continue
+			}
+			s.freezeLocked(sh, st)
+			el = next
+		}
+	}
+}
+
+// freezeLocked evicts one resident DIMM. Shard lock held.
+func (s *Server) freezeLocked(sh *shard, st *dimmState) {
+	fz := freezeDIMM(st)
+	id := st.log.ID
+	sh.resident += fz.bytes - st.bytes
+	if st.lruEl != nil {
+		sh.lru.Remove(st.lruEl)
+		st.lruEl = nil
+	}
+	delete(sh.dimms, id)
+	sh.frozen[id] = fz
+	s.evictions.Add(1)
+	if s.monitor != nil {
+		s.monitor.CountEviction()
+	}
+}
+
+// thawLocked rehydrates a frozen DIMM for its next event. Shard lock held.
+func (s *Server) thawLocked(sh *shard, id trace.DIMMID, fz *frozenDIMM) (*dimmState, error) {
+	st, err := fz.thaw(id)
+	if err != nil {
+		return nil, err
+	}
+	delete(sh.frozen, id)
+	sh.resident -= fz.bytes
+	sh.dimms[id] = st
+	sh.account(st)
+	s.rehydrations.Add(1)
+	if s.monitor != nil {
+		s.monitor.CountRehydration()
+	}
+	return st, nil
+}
+
+// MemoryStats is a point-in-time summary of the engine's serving-state
+// memory.
+type MemoryStats struct {
+	// ResidentBytes is the accounted serving-state footprint (live DIMM
+	// state plus frozen blobs). With no budget set it is recomputed from
+	// the live states on each call.
+	ResidentBytes int64
+	ResidentDIMMs int
+	FrozenDIMMs   int
+
+	Evictions       int64
+	Rehydrations    int64
+	Compactions     int64
+	CompactedEvents int64
+}
+
+// MemoryStats sums the shards' accounting (and mirrors the resident gauge
+// into the monitor). Takes each shard lock briefly.
+func (s *Server) MemoryStats() MemoryStats {
+	ms := MemoryStats{
+		Evictions:       s.evictions.Load(),
+		Rehydrations:    s.rehydrations.Load(),
+		Compactions:     s.compactions.Load(),
+		CompactedEvents: s.compactedEvents.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if s.MemoryBudget > 0 {
+			ms.ResidentBytes += sh.resident
+		} else {
+			for _, st := range sh.dimms {
+				ms.ResidentBytes += st.footprint()
+			}
+		}
+		ms.ResidentDIMMs += len(sh.dimms)
+		ms.FrozenDIMMs += len(sh.frozen)
+		sh.mu.Unlock()
+	}
+	if s.monitor != nil {
+		s.monitor.SetResidentBytes(ms.ResidentBytes)
+	}
+	return ms
+}
+
+// newShard builds an empty shard.
+func newShard() *shard {
+	return &shard{dimms: map[trace.DIMMID]*dimmState{}, frozen: map[trace.DIMMID]*frozenDIMM{}, lru: list.New()}
+}

@@ -33,6 +33,9 @@ type Pipeline struct {
 	// Any value produces the identical alarm stream; it only sets the
 	// ingestion fan-out.
 	Shards int
+	// MemoryBudget bounds the serving engine's resident state in bytes
+	// (0 = unbounded); see Server.MemoryBudget. Alarms are unchanged.
+	MemoryBudget int64
 }
 
 // NewPipeline assembles a pipeline with defaults (LightGBM, the paper's
@@ -125,7 +128,9 @@ func (p *Pipeline) TrainAndMaybePromote(store *trace.Store, trainEnd, valEnd tra
 // NewServer returns a sharded online engine bound to this pipeline's
 // production model, feature store and monitor.
 func (p *Pipeline) NewServer() *Server {
-	return NewShardedServer(p.Platform, p.Features, p.Registry, p.ModelName, p.Monitor, p.Shards)
+	s := NewShardedServer(p.Platform, p.Features, p.Registry, p.ModelName, p.Monitor, p.Shards)
+	s.MemoryBudget = p.MemoryBudget
+	return s
 }
 
 // ResolveAlarms replays ground outcomes into monitoring feedback: each

@@ -1,6 +1,7 @@
 package mlops
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -78,10 +79,22 @@ type Server struct {
 	// Ingest is always scored synchronously). Scores are unchanged —
 	// every registered model scores batch rows independently.
 	MicroBatch bool
+	// MemoryBudget bounds the engine's resident serving-state bytes
+	// (0 = unbounded). When set, logs are compacted behind each
+	// prediction's observation window and idle DIMM state is frozen under
+	// budget pressure — see memory.go; the alarm stream is unchanged.
+	MemoryBudget int64
+	// RetainWindow is the per-DIMM history kept past compaction, floored
+	// at the feature store's observation window (0 = exactly that window).
+	RetainWindow trace.Minutes
 
 	shards  []*shard
 	monitor *Monitor
 	prod    atomic.Pointer[prodCache]
+
+	// Memory-policy counters (see MemoryStats).
+	evictions, rehydrations      atomic.Int64
+	compactions, compactedEvents atomic.Int64
 
 	// Maintenance state: while paused, IngestBatch queues events in
 	// arrival order instead of serving them; Resume drains the queue
@@ -95,6 +108,12 @@ type Server struct {
 type shard struct {
 	mu    sync.Mutex
 	dimms map[trace.DIMMID]*dimmState
+	// Memory accounting (active when Server.MemoryBudget > 0): frozen
+	// holds evicted DIMMs, lru orders the live ones by last service
+	// (front = coldest), resident tallies both populations' bytes.
+	frozen   map[trace.DIMMID]*frozenDIMM
+	lru      *list.List
+	resident int64
 }
 
 // dimmState is one DIMM's serving state, guarded by its shard's lock.
@@ -109,6 +128,12 @@ type dimmState struct {
 	// minute 0 suppress repeats like any other.
 	lastAlarm trace.Minutes
 	alarmed   bool
+
+	// Memory accounting (budgeted engines only): accounted footprint,
+	// LRU slot, and the next instant the compaction policy may run.
+	bytes       int64
+	lruEl       *list.Element
+	nextCompact trace.Minutes
 }
 
 // prodCache is the resolved production model at one registry epoch.
@@ -144,7 +169,7 @@ func NewShardedServer(pf platform.ID, fs *FeatureStore, reg *Registry, model str
 		monitor:      mon,
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{dimms: map[trace.DIMMID]*dimmState{}}
+		s.shards[i] = newShard()
 	}
 	return s
 }
@@ -177,13 +202,21 @@ func (s *Server) shardFor(id trace.DIMMID) *shard {
 }
 
 // RegisterDIMM announces a DIMM's static attributes (from the asset
-// inventory) before its events can be served.
+// inventory) before its events can be served. A frozen DIMM is already
+// registered — its state thaws on its next event, untouched here.
 func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if _, ok := sh.frozen[id]; ok {
+		return
+	}
 	if _, ok := sh.dimms[id]; !ok {
-		sh.dimms[id] = &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
+		st := &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
+		sh.dimms[id] = st
+		if s.MemoryBudget > 0 {
+			sh.account(st)
+		}
 	}
 }
 
@@ -196,13 +229,18 @@ func (s *Server) ReplaceDIMM(id trace.DIMMID, part platform.DIMMPart) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.dimms[id] = &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
+	sh.releaseLocked(id) // retires live or frozen state of the old module
+	st := &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
+	sh.dimms[id] = st
+	if s.MemoryBudget > 0 {
+		sh.account(st)
+	}
 }
 
-// Pause puts the engine into a maintenance window: subsequent IngestBatch
-// calls queue their events in arrival order instead of serving them, and
-// return no alarms. Ingest state already built stays warm. Pausing an
-// already-paused engine is a no-op.
+// Pause puts the engine into a maintenance window: subsequent Ingest and
+// IngestBatch calls queue their events in arrival order instead of
+// serving them, and return no alarms. Ingest state already built stays
+// warm. Pausing an already-paused engine is a no-op.
 func (s *Server) Pause() {
 	s.pauseMu.Lock()
 	s.paused = true
@@ -228,7 +266,10 @@ func (s *Server) HeldEvents() int {
 // the normal IngestBatch path, returning the alarms they fire. The queue
 // preserves arrival order, so the alarm set is identical to having never
 // paused (micro-batch composition differs, but every registered model
-// scores batch rows independently).
+// scores batch rows independently). If another Pause lands while the
+// drain is in flight, the drained events re-queue at the front of the
+// hold queue — ahead of anything that arrived after them — so arrival
+// order survives pause/resume races.
 func (s *Server) Resume() ([]Alarm, error) {
 	s.pauseMu.Lock()
 	held := s.held
@@ -238,7 +279,7 @@ func (s *Server) Resume() ([]Alarm, error) {
 	if len(held) == 0 {
 		return nil, nil
 	}
-	return s.IngestBatch(held)
+	return s.ingestBatch(held, true)
 }
 
 // production resolves the production model through the epoch-stamped
@@ -277,13 +318,23 @@ type pendingPred struct {
 }
 
 // Ingest processes one event and returns an alarm when the production
-// model fires. A nil alarm means no action. Safe for concurrent use;
-// events of one DIMM must be delivered by a single caller at a time.
+// model fires. A nil alarm means no action. During a maintenance window
+// the event joins the hold queue like any batch traffic — per-event
+// callers do not serve through a pause. Safe for concurrent use; events
+// of one DIMM must be delivered by a single caller at a time.
 func (s *Server) Ingest(e trace.Event) (*Alarm, error) {
+	s.pauseMu.Lock()
+	if s.paused {
+		s.held = append(s.held, e)
+		s.pauseMu.Unlock()
+		return nil, nil
+	}
+	s.pauseMu.Unlock()
 	sh := s.shardFor(e.DIMM)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	a, err := s.ingestLocked(sh, e, nil)
+	s.maybeEvict(sh, e.Time)
 	if a != nil && s.monitor != nil {
 		s.monitor.CountAlarm(*a)
 	}
@@ -299,7 +350,16 @@ func (s *Server) Ingest(e trace.Event) (*Alarm, error) {
 func (s *Server) ingestLocked(sh *shard, e trace.Event, pend *[]pendingPred) (*Alarm, error) {
 	st, ok := sh.dimms[e.DIMM]
 	if !ok {
-		return nil, fmt.Errorf("mlops: event for unregistered DIMM %s", e.DIMM)
+		fz, frozen := sh.frozen[e.DIMM]
+		if !frozen {
+			return nil, fmt.Errorf("mlops: event for unregistered DIMM %s", e.DIMM)
+		}
+		// Rehydrate before anything can fail or advance: a thawed DIMM
+		// serves this event exactly as if it had never been evicted.
+		var err error
+		if st, err = s.thawLocked(sh, e.DIMM, fz); err != nil {
+			return nil, err
+		}
 	}
 	st.log.Append(e)
 	if !st.log.Indexed() {
@@ -313,18 +373,24 @@ func (s *Server) ingestLocked(sh *shard, e trace.Event, pend *[]pendingPred) (*A
 	if s.monitor != nil {
 		s.monitor.CountEvent(e)
 	}
+	if s.MemoryBudget > 0 {
+		sh.account(st)
+	}
 	if e.Type != trace.TypeCE {
 		return nil, nil
 	}
 	if e.Time-st.lastPred < s.PredictEvery {
 		return nil, nil
 	}
-	st.lastPred = e.Time
-
+	// Resolve the production model before consuming the prediction
+	// opportunity: a transient registry/rehydration failure must leave the
+	// throttle untouched so the next event can retry, not permanently
+	// swallow this DIMM's prediction slot.
 	pc, err := s.production()
 	if err != nil {
 		return nil, err
 	}
+	st.lastPred = e.Time
 	// Rule-based models score the live DIMM history directly; vector
 	// models score the cursor-maintained feature vector.
 	if pc.logScorer != nil {
@@ -344,6 +410,9 @@ func (s *Server) ingestLocked(sh *shard, e trace.Event, pend *[]pendingPred) (*A
 // finishPrediction applies monitoring, threshold and cooldown to one
 // score and materializes the alarm. Shard lock held.
 func (s *Server) finishPrediction(st *dimmState, e trace.Event, pc *prodCache, score float64) *Alarm {
+	// The score is already computed, so the prediction's observation
+	// window has been fully read: the prefix behind it can be folded away.
+	s.maybeCompact(st, e.Time)
 	if s.monitor != nil {
 		s.monitor.CountPrediction(score)
 	}
@@ -411,9 +480,23 @@ func (s *Server) flushPending(pend *[]pendingPred, out *[]Alarm) error {
 // still returned (and counted) alongside it — cooldown state was
 // already advanced for them, so dropping them would lose them for good.
 func (s *Server) IngestBatch(events []trace.Event) ([]Alarm, error) {
+	return s.ingestBatch(events, false)
+}
+
+// ingestBatch is IngestBatch with the pause re-queue policy explicit:
+// requeueFront marks a Resume drain, whose events predate anything that
+// joined the hold queue after the drain started and so must re-queue
+// ahead of it when a concurrent Pause wins the race.
+func (s *Server) ingestBatch(events []trace.Event, requeueFront bool) ([]Alarm, error) {
 	s.pauseMu.Lock()
 	if s.paused {
-		s.held = append(s.held, events...)
+		if requeueFront {
+			held := make([]trace.Event, 0, len(events)+len(s.held))
+			held = append(held, events...)
+			s.held = append(held, s.held...)
+		} else {
+			s.held = append(s.held, events...)
+		}
 		s.pauseMu.Unlock()
 		return nil, nil
 	}
@@ -454,6 +537,9 @@ func (s *Server) IngestBatch(events []trace.Event) ([]Alarm, error) {
 		if err := s.flushPending(&pend, &out); err != nil && errs[i] == nil {
 			errs[i] = err
 		}
+		// The flush drained every pending-state pointer, so the budget can
+		// be enforced now.
+		s.maybeEvict(sh, perShard[i][len(perShard[i])-1].Time)
 		alarms[i] = out
 	})
 	merged := mergeAlarms(alarms)
@@ -560,10 +646,12 @@ func (s *Server) replayShard(ctx context.Context, sh *shard, logs []*trace.DIMML
 			break
 		}
 		if e.Time != curT {
-			// Tick boundary: score everything that fell due at curT.
+			// Tick boundary: score everything that fell due at curT, then
+			// enforce the budget (no pending pointers survive the flush).
 			if err := s.flushPending(&pend, &out); err != nil {
 				return out, err
 			}
+			s.maybeEvict(sh, e.Time)
 			curT = e.Time
 		}
 		a, err := s.ingestLocked(sh, e, pendPtr)

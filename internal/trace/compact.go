@@ -1,0 +1,139 @@
+package trace
+
+import "sort"
+
+// Log compaction bounds the resident size of long-lived serving logs.
+// Online consumers (features.ServeCursor, the mlops serving engine) fold
+// events into incremental state exactly once and then only query bounded
+// trailing windows; CompactBefore lets them drop the consumed prefix while
+// a fold callback captures whatever summary they need to stay exact.
+//
+// Contract after CompactBefore(cut, fold):
+//
+//   - Window queries (CEsBetween, CountCEsBetween) are exact for any
+//     [from, to) with from >= CompactHorizon(); below the horizon the
+//     dropped events are simply absent.
+//   - FirstCE and FirstUE remain exact lifetime answers on both the
+//     indexed and the degraded (out-of-order append) query paths: the
+//     pre-drop firsts are captured and merged back by every index rebuild.
+//   - The per-type index stays current (the compaction itself rebuilds
+//     it), and IndexGen advances, so incremental view consumers detect the
+//     prefix shift and rebuild rather than trusting stale positions.
+
+// CompactBefore drops all events with Time < cut from the log, invoking
+// fold (when non-nil) for each dropped event in time order first, and
+// returns the number of events dropped. It requires an indexed log —
+// compacting a degraded log would drop events whose positions are
+// unknown — and is a no-op returning 0 when the log is degraded, empty,
+// or holds nothing before cut. The retained events are copied to a fresh
+// backing array so the dropped prefix becomes collectable.
+func (d *DIMMLog) CompactBefore(cut Minutes, fold func(Event)) int {
+	if !d.indexed() || len(d.Events) == 0 {
+		return 0
+	}
+	k := sort.Search(len(d.Events), func(i int) bool { return d.Events[i].Time >= cut })
+	if k == 0 {
+		return 0
+	}
+	// The index is current, so firstCE/firstUE already hold lifetime
+	// values (buildIndex re-merges them after every rebuild); capture them
+	// so they survive the drop.
+	d.lifeHasCE, d.lifeFirstCE = d.hasCE, d.firstCE
+	d.lifeHasUE, d.lifeFirstUE = d.hasUE, d.firstUE
+	for _, e := range d.Events[:k] {
+		if fold != nil {
+			fold(e)
+		}
+		switch e.Type {
+		case TypeCE:
+			d.compCEs++
+		case TypeUE:
+			d.compUEs++
+		case TypeStorm:
+			d.compStorms++
+		}
+	}
+	d.compEvents += k
+	if cut > d.compBefore {
+		d.compBefore = cut
+	}
+	retained := make([]Event, len(d.Events)-k)
+	copy(retained, d.Events[k:])
+	d.Events = retained
+	d.buildIndex()
+	return k
+}
+
+// Compacted reports whether any events have been dropped by CompactBefore
+// (directly or via RestoreCompaction).
+func (d *DIMMLog) Compacted() bool { return d.compEvents > 0 }
+
+// CompactedEvents returns the total number of events dropped so far.
+func (d *DIMMLog) CompactedEvents() int { return d.compEvents }
+
+// CompactedCEs returns the number of dropped CE events.
+func (d *DIMMLog) CompactedCEs() int { return d.compCEs }
+
+// CompactedUEs returns the number of dropped UE events.
+func (d *DIMMLog) CompactedUEs() int { return d.compUEs }
+
+// CompactedStorms returns the number of dropped storm events.
+func (d *DIMMLog) CompactedStorms() int { return d.compStorms }
+
+// CompactHorizon returns the exactness horizon: every event with
+// Time >= CompactHorizon() is still present, so window queries from the
+// horizon onward are exact. Zero when never compacted.
+func (d *DIMMLog) CompactHorizon() Minutes { return d.compBefore }
+
+// FoldState returns the consumer-owned summary of the dropped prefix
+// installed by SetFoldState, or nil. The log treats it as opaque.
+func (d *DIMMLog) FoldState() any { return d.foldState }
+
+// SetFoldState attaches a consumer-owned summary of the dropped prefix
+// (e.g. the feature extractor's lifetime accumulators) so that consumers
+// rebuilding incremental state over a compacted log can seed themselves
+// instead of losing the dropped events' contribution.
+func (d *DIMMLog) SetFoldState(s any) { d.foldState = s }
+
+// CompactionSnapshot captures a log's compaction bookkeeping so serving
+// state can be serialized (idle-DIMM eviction) and reconstructed without
+// losing the dropped prefix's contribution.
+type CompactionSnapshot struct {
+	Events, CEs, UEs, Storms int
+	Horizon                  Minutes
+	HasCE, HasUE             bool
+	FirstCE, FirstUE         Minutes
+	Fold                     any
+}
+
+// Compaction returns the log's current compaction snapshot. On an indexed
+// log the first-CE/UE fields carry the full lifetime answers (retained
+// events included); on a degraded log they carry the values captured at
+// the last compaction.
+func (d *DIMMLog) Compaction() CompactionSnapshot {
+	cs := CompactionSnapshot{
+		Events: d.compEvents, CEs: d.compCEs, UEs: d.compUEs, Storms: d.compStorms,
+		Horizon: d.compBefore, Fold: d.foldState,
+		HasCE: d.lifeHasCE, HasUE: d.lifeHasUE,
+		FirstCE: d.lifeFirstCE, FirstUE: d.lifeFirstUE,
+	}
+	if d.indexed() {
+		cs.HasCE, cs.FirstCE = d.hasCE, d.firstCE
+		cs.HasUE, cs.FirstUE = d.hasUE, d.firstUE
+	}
+	return cs
+}
+
+// RestoreCompaction reinstates a snapshot taken by Compaction on a log
+// rebuilt from the retained events (eviction thaw). Call before
+// SortEvents so the rebuild's index merge sees the lifetime firsts.
+func (d *DIMMLog) RestoreCompaction(cs CompactionSnapshot) {
+	if cs.Events == 0 {
+		return
+	}
+	d.compEvents, d.compCEs, d.compUEs, d.compStorms = cs.Events, cs.CEs, cs.UEs, cs.Storms
+	d.compBefore = cs.Horizon
+	d.foldState = cs.Fold
+	d.lifeHasCE, d.lifeFirstCE = cs.HasCE, cs.FirstCE
+	d.lifeHasUE, d.lifeFirstUE = cs.HasUE, cs.FirstUE
+}

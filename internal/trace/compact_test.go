@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"testing"
+
+	"memfp/internal/xrand"
+)
+
+// compactPair builds an (oracle, compacted) log pair over the same random
+// event mix: the oracle keeps full history, the twin is compacted at a
+// random cut. Returns the pair and the cut.
+func compactPair(t *testing.T, rng *xrand.RNG, nEvents int) (oracle, compacted *DIMMLog, cut Minutes) {
+	t.Helper()
+	oracle, _ = randomLog(t, rng, nEvents)
+	compacted = &DIMMLog{ID: oracle.ID, Part: oracle.Part,
+		Events: append([]Event(nil), oracle.Events...)}
+	compacted.SortEvents()
+	cut = Minutes(rng.Int63n(int64(ObservationSpan)))
+	compacted.CompactBefore(cut, nil)
+	return oracle, compacted, cut
+}
+
+// TestCompactBeforeQueriesMatchOracle property-tests that every query the
+// serving path relies on is unchanged by compaction: FirstCE/FirstUE
+// exactly, and the window queries for any window at or above the horizon.
+func TestCompactBeforeQueriesMatchOracle(t *testing.T) {
+	rng := xrand.New(4711)
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(200)
+		oracle, comp, cut := compactPair(t, rng, n)
+
+		of, ohas := oracle.FirstCE()
+		cf, chas := comp.FirstCE()
+		if of != cf || ohas != chas {
+			t.Fatalf("trial %d: FirstCE (%v,%v) != oracle (%v,%v)", trial, cf, chas, of, ohas)
+		}
+		ou, ohas := oracle.FirstUE()
+		cu, chas := comp.FirstUE()
+		if ou != cu || ohas != chas {
+			t.Fatalf("trial %d: FirstUE (%v,%v) != oracle (%v,%v)", trial, cu, chas, ou, ohas)
+		}
+
+		dropped := comp.CompactedEvents()
+		if got := dropped + len(comp.Events); got != len(oracle.Events) {
+			t.Fatalf("trial %d: %d dropped + %d retained != %d total",
+				trial, dropped, len(comp.Events), len(oracle.Events))
+		}
+		if dropped > 0 && comp.CompactHorizon() != cut {
+			t.Fatalf("trial %d: horizon %v, want %v", trial, comp.CompactHorizon(), cut)
+		}
+
+		// Window queries with from >= horizon are exact.
+		for q := 0; q < 20; q++ {
+			from := cut + Minutes(rng.Int63n(int64(ObservationSpan)))
+			to := from + Minutes(rng.Int63n(int64(10*Day)))
+			want := oracle.CEsBetween(from, to)
+			got := comp.CEsBetween(from, to)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d: CEsBetween[%v,%v) %d CEs, oracle %d",
+					trial, from, to, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d: CEsBetween[%v,%v) event %d differs", trial, from, to, i)
+				}
+			}
+			if oracle.CountCEsBetween(from, to) != comp.CountCEsBetween(from, to) {
+				t.Fatalf("trial %d: CountCEsBetween[%v,%v) differs", trial, from, to)
+			}
+		}
+	}
+}
+
+// TestCompactBeforeOutOfOrderFallback pins the degraded path: after an
+// out-of-order append, a compacted log's linear-scan queries still match
+// the uncompacted oracle mutated the same way — FirstCE/FirstUE answer
+// from the preserved lifetime firsts, and a SortEvents on both restores
+// full indexed agreement.
+func TestCompactBeforeOutOfOrderFallback(t *testing.T) {
+	rng := xrand.New(271828)
+	for trial := 0; trial < 60; trial++ {
+		oracle, comp, cut := compactPair(t, rng, 5+rng.Intn(150))
+
+		// A late batch of out-of-order events; the first degrades both logs.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			late := Event{
+				Time: Minutes(rng.Int63n(int64(ObservationSpan))),
+				Type: []EventType{TypeCE, TypeUE, TypeStorm}[rng.Intn(3)],
+				DIMM: oracle.ID,
+			}
+			oracle.Events = append(oracle.Events, late)
+			comp.Append(late)
+		}
+		if comp.Indexed() && len(comp.Events) > 1 {
+			// Every appended time above could legally be in order; only
+			// check the degraded contract when it actually degraded.
+			continue
+		}
+
+		of, ohas := oracle.FirstCE()
+		cf, chas := comp.FirstCE()
+		if of != cf || ohas != chas {
+			t.Fatalf("trial %d degraded: FirstCE (%v,%v) != oracle (%v,%v)", trial, cf, chas, of, ohas)
+		}
+		ou, ouhas := oracle.FirstUE()
+		cu, cuhas := comp.FirstUE()
+		if ou != cu || ouhas != cuhas {
+			t.Fatalf("trial %d degraded: FirstUE (%v,%v) != oracle (%v,%v)", trial, cu, cuhas, ou, ouhas)
+		}
+		for q := 0; q < 10; q++ {
+			from := cut + Minutes(rng.Int63n(int64(ObservationSpan)))
+			to := from + Minutes(rng.Int63n(int64(10*Day)))
+			want := oracle.CEsBetween(from, to)
+			got := comp.CEsBetween(from, to)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d degraded: CEsBetween %d CEs, oracle %d", trial, len(got), len(want))
+			}
+		}
+
+		// Compacting a degraded log must refuse.
+		if n := comp.CompactBefore(ObservationSpan, nil); n != 0 {
+			t.Fatalf("trial %d: CompactBefore on degraded log dropped %d events", trial, n)
+		}
+
+		// Re-sort both: indexed queries agree again, including lifetime
+		// firsts merged across the compacted prefix and the late events.
+		oracle.SortEvents()
+		comp.SortEvents()
+		of, ohas = oracle.FirstCE()
+		cf, chas = comp.FirstCE()
+		if of != cf || ohas != chas {
+			t.Fatalf("trial %d resorted: FirstCE (%v,%v) != oracle (%v,%v)", trial, cf, chas, of, ohas)
+		}
+		for q := 0; q < 10; q++ {
+			from := cut + Minutes(rng.Int63n(int64(ObservationSpan)))
+			to := from + Minutes(rng.Int63n(int64(10*Day)))
+			if oracle.CountCEsBetween(from, to) != comp.CountCEsBetween(from, to) {
+				t.Fatalf("trial %d resorted: CountCEsBetween differs", trial)
+			}
+		}
+	}
+}
+
+// TestCompactBeforeFoldAndRepeat checks the fold callback sees exactly the
+// dropped events in time order, repeated compaction accumulates, and the
+// retained slice no longer aliases the pre-compaction backing array.
+func TestCompactBeforeFoldAndRepeat(t *testing.T) {
+	rng := xrand.New(13)
+	oracle, _ := randomLog(t, rng, 300)
+	comp := &DIMMLog{ID: oracle.ID, Part: oracle.Part,
+		Events: append([]Event(nil), oracle.Events...)}
+	comp.SortEvents()
+
+	var folded []Event
+	cuts := []Minutes{ObservationSpan / 4, ObservationSpan / 2, ObservationSpan / 2, 3 * ObservationSpan / 4}
+	total := 0
+	for _, cut := range cuts {
+		total += comp.CompactBefore(cut, func(e Event) { folded = append(folded, e) })
+	}
+	if total != comp.CompactedEvents() {
+		t.Fatalf("CompactedEvents %d, want %d", comp.CompactedEvents(), total)
+	}
+	if len(folded) != total {
+		t.Fatalf("fold saw %d events, %d dropped", len(folded), total)
+	}
+	for i, e := range folded {
+		if e != oracle.Events[i] {
+			t.Fatalf("fold event %d differs from oracle prefix", i)
+		}
+		if e.Time >= 3*ObservationSpan/4 {
+			t.Fatalf("fold event %d at %v is past the final cut", i, e.Time)
+		}
+	}
+	ces, ues, storms := 0, 0, 0
+	for _, e := range folded {
+		switch e.Type {
+		case TypeCE:
+			ces++
+		case TypeUE:
+			ues++
+		case TypeStorm:
+			storms++
+		}
+	}
+	if comp.CompactedCEs() != ces || comp.CompactedUEs() != ues || comp.CompactedStorms() != storms {
+		t.Fatalf("per-type compacted counts (%d,%d,%d), want (%d,%d,%d)",
+			comp.CompactedCEs(), comp.CompactedUEs(), comp.CompactedStorms(), ces, ues, storms)
+	}
+	if !comp.Compacted() && total > 0 {
+		t.Fatal("Compacted() false after dropping events")
+	}
+}
+
+// TestCompactionSnapshotRoundTrip pins the eviction path: rebuilding a log
+// from its retained events plus the snapshot restores every query exactly.
+func TestCompactionSnapshotRoundTrip(t *testing.T) {
+	rng := xrand.New(29)
+	for trial := 0; trial < 40; trial++ {
+		oracle, comp, cut := compactPair(t, rng, 5+rng.Intn(150))
+		snap := comp.Compaction()
+
+		rebuilt := &DIMMLog{ID: comp.ID, Part: comp.Part,
+			Events: append([]Event(nil), comp.Events...)}
+		rebuilt.RestoreCompaction(snap)
+		rebuilt.SortEvents()
+
+		of, ohas := oracle.FirstCE()
+		rf, rhas := rebuilt.FirstCE()
+		if of != rf || ohas != rhas {
+			t.Fatalf("trial %d: rebuilt FirstCE (%v,%v) != oracle (%v,%v)", trial, rf, rhas, of, ohas)
+		}
+		ou, ouhas := oracle.FirstUE()
+		ru, ruhas := rebuilt.FirstUE()
+		if ou != ru || ouhas != ruhas {
+			t.Fatalf("trial %d: rebuilt FirstUE (%v,%v) != oracle (%v,%v)", trial, ru, ruhas, ou, ouhas)
+		}
+		if rebuilt.CompactedEvents() != comp.CompactedEvents() ||
+			rebuilt.CompactHorizon() != comp.CompactHorizon() {
+			t.Fatalf("trial %d: snapshot counts/horizon not restored", trial)
+		}
+		for q := 0; q < 10; q++ {
+			from := cut + Minutes(rng.Int63n(int64(ObservationSpan)))
+			to := from + Minutes(rng.Int63n(int64(10*Day)))
+			if oracle.CountCEsBetween(from, to) != rebuilt.CountCEsBetween(from, to) {
+				t.Fatalf("trial %d: rebuilt CountCEsBetween differs", trial)
+			}
+		}
+	}
+}

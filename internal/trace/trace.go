@@ -142,6 +142,16 @@ type DIMMLog struct {
 	firstUE Minutes
 	hasCE   bool
 	hasUE   bool
+
+	// Compaction bookkeeping (see CompactBefore): counts of dropped
+	// events, the horizon below which history is gone, and the lifetime
+	// first-CE/UE instants captured before the drop so FirstCE/FirstUE
+	// stay exact on both the indexed and the degraded query paths.
+	compEvents, compCEs, compUEs, compStorms int
+	compBefore                               Minutes
+	lifeFirstCE, lifeFirstUE                 Minutes
+	lifeHasCE, lifeHasUE                     bool
+	foldState                                any
 }
 
 // SortEvents sorts the event slice in place by time and rebuilds the
@@ -178,6 +188,16 @@ func (d *DIMMLog) buildIndex() {
 			d.ues = append(d.ues, e)
 		case TypeStorm:
 			d.storms = append(d.storms, e.Time)
+		}
+	}
+	if d.compEvents > 0 {
+		// Compacted history may hold the true lifetime firsts; a late
+		// out-of-order event can still precede them, so merge by minimum.
+		if d.lifeHasCE && (!d.hasCE || d.lifeFirstCE < d.firstCE) {
+			d.hasCE, d.firstCE = true, d.lifeFirstCE
+		}
+		if d.lifeHasUE && (!d.hasUE || d.lifeFirstUE < d.firstUE) {
+			d.hasUE, d.firstUE = true, d.lifeFirstUE
 		}
 	}
 	d.idxLen = len(d.Events)
@@ -266,6 +286,11 @@ func (d *DIMMLog) FirstUE() (Minutes, bool) {
 	if d.indexed() {
 		return d.firstUE, d.hasUE
 	}
+	if d.compEvents > 0 && d.lifeHasUE {
+		// Compacted history held the lifetime first UE; the degraded scan
+		// below could only find a later (retained) one.
+		return d.lifeFirstUE, true
+	}
 	for _, e := range d.Events {
 		if e.Type == TypeUE {
 			return e.Time, true
@@ -279,6 +304,9 @@ func (d *DIMMLog) FirstUE() (Minutes, bool) {
 func (d *DIMMLog) FirstCE() (Minutes, bool) {
 	if d.indexed() {
 		return d.firstCE, d.hasCE
+	}
+	if d.compEvents > 0 && d.lifeHasCE {
+		return d.lifeFirstCE, true
 	}
 	for _, e := range d.Events {
 		if e.Type == TypeCE {
