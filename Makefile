@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-cache bench-quick bounded-smoke test-race fuzz-short examples-smoke scenario-smoke ci
+.PHONY: all build test test-short vet fmt bench bench-cache bench-quick bounded-smoke test-race fuzz-short examples-smoke scenario-smoke daemon-smoke ci
 
 all: build
 
@@ -38,14 +38,15 @@ bench-cache:
 # the predictor registry), serving-throughput benchmarks (events/sec
 # replayed through the sharded online engine per production algorithm,
 # shards 1 vs N, against the preserved pre-refactor sequential baseline),
-# and scenario throughput with/without chaos, recorded as BENCH_PR8.json
-# so the perf trajectory stays machine-readable. BENCH_PR2..7.json are
-# earlier PRs' snapshots — keep them for comparison. New in PR 8: the
-# bounded-vs-unbounded replay rows (BenchmarkServeBounded/Unbounded at
-# the bench scale, BenchmarkServeScale05* at the half-fleet
-# demonstration scale) report peak_bytes (sampled heap high-water mark)
-# and bytes/dimm alongside events/sec, so the memory-budget layer's
-# footprint is on record next to its throughput cost.
+# and scenario throughput with/without chaos, recorded as BENCH_PR9.json
+# so the perf trajectory stays machine-readable. BENCH_PR2..8.json are
+# earlier PRs' snapshots — keep them for comparison. The PR 8 rows
+# (BenchmarkServeBounded/Unbounded, BenchmarkServeScale05*) report
+# peak_bytes (sampled heap high-water mark) and bytes/dimm alongside
+# events/sec. New in PR 9: BenchmarkInProcessIngest vs
+# BenchmarkControlPlaneIngest replay the same tick stream through the
+# engine directly and through the HTTP control plane, so the transport +
+# codec overhead of the distribution layer is on record.
 # The sub-second phases run 5 iterations for stable numbers; the
 # FT-Transformer fit (~9s per iteration) runs once; the multi-second
 # replays and scenario runs run 3; the scale-0.5 demonstrations (tens of
@@ -55,20 +56,22 @@ bench-cache:
 # the booster twice.
 bench-quick:
 	$(GO) test -run '^$$' -bench '^BenchmarkPhase(Generate|GenerateSequential|Extract|Train|TrainForest|Eval)$$' \
-		-benchtime 5x -timeout 30m . > BENCH_PR8.txt
+		-benchtime 5x -timeout 30m . > BENCH_PR9.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkPhaseTrainFTT$$' -benchtime 1x -timeout 30m . \
-		>> BENCH_PR8.txt
+		>> BENCH_PR9.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkModel(Marshal|Unmarshal|ScoreBatch)$$' \
-		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR8.txt
+		-benchtime 5x -timeout 30m ./internal/ml/model/ >> BENCH_PR9.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkServe(Baseline|LightGBM|RiskyCE|Forest|Logistic|FTT|Bounded$$|Unbounded$$)' \
-		-benchtime 3x -timeout 60m . >> BENCH_PR8.txt
+		-benchtime 3x -timeout 60m . >> BENCH_PR9.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkServeScale05' -benchtime 1x -timeout 60m . \
-		>> BENCH_PR8.txt
+		>> BENCH_PR9.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSimulate' -benchtime 3x -timeout 30m \
-		./internal/scenario/ >> BENCH_PR8.txt
-	cat BENCH_PR8.txt
+		./internal/scenario/ >> BENCH_PR9.txt
+	$(GO) test -run '^$$' -bench '^Benchmark(InProcess|ControlPlane)Ingest$$' \
+		-benchtime 3x -timeout 30m ./internal/controlplane/ >> BENCH_PR9.txt
+	cat BENCH_PR9.txt
 	awk 'BEGIN { print "{"; printf "  \"scale\": 0.02,\n  \"demo_scale\": 0.5,\n  \"benchmarks\": {" ; n=0 } \
-		/^Benchmark(Phase|Model|Serve|Simulate)/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+		/^Benchmark(Phase|Model|Serve|Simulate|InProcess|ControlPlane)/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
 			sec=""; eps=""; peak=""; bpd=""; \
 			for (i=2; i<=NF; i++) { \
 				if ($$(i) == "ns/op") sec=$$(i-1)/1e9; \
@@ -84,9 +87,9 @@ bench-quick:
 				printf " }"; \
 				if (name == "BenchmarkPhaseTrain") \
 					printf ",\n    \"%sGBDT\": { \"seconds\": %.6f }", name, sec } } \
-		END { print "\n  }\n}" }' BENCH_PR8.txt > BENCH_PR8.json
-	@rm -f BENCH_PR8.txt
-	@echo "wrote BENCH_PR8.json"
+		END { print "\n  }\n}" }' BENCH_PR9.txt > BENCH_PR9.json
+	@rm -f BENCH_PR9.txt
+	@echo "wrote BENCH_PR9.json"
 
 # Small-scale bounded-replay equivalence smoke: the budgeted engine (log
 # compaction + idle-DIMM eviction active) and the streaming-replay path
@@ -106,13 +109,17 @@ bounded-smoke:
 # model, hardened monitor counters, lazy scorer rehydration, and — new
 # in PR 8 — the streaming fleet generator's producer/consumer handoff
 # plus the memory-budget layer's compaction and freeze/thaw churn under
-# concurrent ingest).
+# concurrent ingest). PR 9 adds the control plane (HTTP handlers against
+# the shared journal/registry state, node heartbeats, and the per-shard
+# atomic telemetry the /metrics endpoint reads concurrently with
+# ingest).
 test-race:
 	$(GO) test -race -timeout 20m ./internal/par/ ./internal/faultsim/ \
 		./internal/trace/ ./internal/features/ ./internal/pipeline/ \
 		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/gbdt/ \
 		./internal/ml/tensor/ ./internal/ml/ftt/ \
-		./internal/ml/model/ ./internal/mlops/ ./internal/scenario/
+		./internal/ml/model/ ./internal/mlops/ ./internal/scenario/ \
+		./internal/controlplane/
 
 # Short fuzz passes: the bin mapper (the substrate every tree model bins
 # through) and the scenario YAML-subset parser (user input — malformed
@@ -135,4 +142,11 @@ scenario-smoke:
 	$(GO) run ./cmd/memfp simulate -validate scenarios/*.yaml
 	$(GO) run ./cmd/memfp simulate -o /tmp scenarios/*.yaml
 
-ci: build vet fmt test-race fuzz-short examples-smoke scenario-smoke bounded-smoke test
+# Process-level distribution smoke: replay the same tiny fleet through
+# the real mlopsd binary twice — single process, then control plane +
+# two loopback node daemons — and require byte-identical alarm logs,
+# plus clean SIGTERM shutdown of the daemons.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
+
+ci: build vet fmt test-race fuzz-short examples-smoke scenario-smoke bounded-smoke daemon-smoke test

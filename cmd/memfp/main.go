@@ -12,6 +12,7 @@
 //	memfp serve    -platform Intel_Purley [-scale 0.05] [-trainer LightGBM]
 //	memfp diag     -platform Intel_Purley [-scale 0.1]
 //	memfp simulate [-validate] [-shards 4] [-o report.json] scenarios/<name>.yaml
+//	memfp ctl      [-addr http://127.0.0.1:9090] status|models|promote|rollback|alarms|pause|resume|flush|metrics
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		err = cmdDiag(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "ctl":
+		err = cmdCtl(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -69,6 +72,7 @@ commands:
   diag      print split statistics and score quality for one platform
   simulate  drive the serving stack through declarative chaos scenarios
             (use -validate to check scenario files without running them)
+  ctl       operate a running mlopsd control plane over its HTTP API
 
 run "memfp <command> -h" for flags`)
 }

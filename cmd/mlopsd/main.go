@@ -1,20 +1,46 @@
-// Command mlopsd is a stand-alone demonstration of the paper's Figure 6
-// MLOps framework running as a long-lived service loop: it trains an
-// initial model through the CI/CD gate, then serves a simulated production
-// event stream in monthly increments, resolving alarm feedback, monitoring
-// drift, and retraining + re-gating at each cycle — the "continuous
-// improvement over the production lifecycle" the paper argues for.
+// Command mlopsd runs the paper's Figure 6 MLOps framework as a
+// long-lived service: it trains an initial model through the CI/CD gate,
+// then serves a simulated production event stream in monthly increments,
+// resolving alarm feedback, monitoring drift, and retraining + re-gating
+// at each cycle — the "continuous improvement over the production
+// lifecycle" the paper argues for.
 //
-// Usage: mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42] [-shards 0]
+// Control-plane mode (default) owns the pipeline, registry and monitor,
+// and optionally exposes the HTTP API + Prometheus /metrics; with
+// -nodes N it partitions the fleet across N node daemons and emits the
+// byte-identical alarm stream of the in-process engine:
+//
+//	mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42]
+//	       [-trainer LightGBM] [-shards 0] [-membudget 0]
+//	       [-addr 127.0.0.1:9090] [-nodes 0] [-alarm-log file] [-hold]
+//
+// Node-daemon mode serves a deterministic slice of the fleet, pulling
+// promoted model artifacts from the control plane:
+//
+//	mlopsd -node -join http://<control-plane> [-addr 127.0.0.1:0]
+//	       [-name hostname-pid] [-shards 0] [-heartbeat 2s]
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: the control plane
+// drains pending work and prints the final dashboard, a node daemon
+// closes its listener cleanly.
 package main
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"strconv"
+	"syscall"
+	"time"
 
+	"memfp/internal/controlplane"
 	"memfp/internal/faultsim"
 	"memfp/internal/ml/model"
 	"memfp/internal/mlops"
@@ -23,36 +49,116 @@ import (
 	"memfp/internal/trace"
 )
 
+type options struct {
+	platform  string
+	scale     float64
+	seed      uint64
+	trainer   string
+	shards    int
+	membudget int64
+	addr      string
+	nodes     int
+	alarmLog  string
+	hold      bool
+	node      bool
+	join      string
+	name      string
+	heartbeat time.Duration
+}
+
+// newFlagSet declares every mlopsd flag (both modes) on a testable set.
+func newFlagSet(o *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("mlopsd", flag.ContinueOnError)
+	fs.StringVar(&o.platform, "platform", string(platform.Purley), "platform ID")
+	fs.Float64Var(&o.scale, "scale", 0.05, "fleet scale")
+	fs.Uint64Var(&o.seed, "seed", 42, "seed")
+	fs.StringVar(&o.trainer, "trainer", model.NameGBDT, "registry trainer the service ships")
+	fs.IntVar(&o.shards, "shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
+	fs.Int64Var(&o.membudget, "membudget", 0, "serving-state memory budget in MiB (0 = unbounded); alarms unchanged")
+	fs.StringVar(&o.addr, "addr", "", "HTTP listen address (control-plane API, or the node daemon's ingest surface)")
+	fs.IntVar(&o.nodes, "nodes", 0, "partition serving across this many node daemons (0 = in-process; requires -addr)")
+	fs.StringVar(&o.alarmLog, "alarm-log", "", `write the emitted alarm stream to this file ("-" = stdout)`)
+	fs.BoolVar(&o.hold, "hold", false, "after the replay, keep serving the HTTP API until interrupted")
+	fs.BoolVar(&o.node, "node", false, "run as a node daemon instead of the control plane")
+	fs.StringVar(&o.join, "join", "", "control-plane base URL a node daemon registers with")
+	fs.StringVar(&o.name, "name", "", "node daemon name (default hostname-pid); rejoin with the same name to resume")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 2*time.Second, "node heartbeat interval")
+	return fs
+}
+
 func main() {
-	pf := flag.String("platform", string(platform.Purley), "platform ID")
-	scale := flag.Float64("scale", 0.05, "fleet scale")
-	seed := flag.Uint64("seed", 42, "seed")
-	trainer := flag.String("trainer", model.NameGBDT, "registry trainer the service ships")
-	shards := flag.Int("shards", 0, "serving engine shards (0 = one per CPU); any value emits the same alarms")
-	membudget := flag.Int64("membudget", 0, "serving-state memory budget in MiB (0 = unbounded); alarms unchanged")
-	flag.Parse()
-	if err := run(platform.ID(*pf), *trainer, *scale, *seed, *shards, *membudget); err != nil {
+	var o options
+	fs := newFlagSet(&o)
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var err error
+	if o.node {
+		err = runNode(ctx, &o)
+	} else {
+		err = runControl(ctx, &o)
+	}
+	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "mlopsd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(id platform.ID, trainer string, scale float64, seed uint64, shards int, membudgetMiB int64) error {
+// runNode runs a node daemon until the context is canceled.
+func runNode(ctx context.Context, o *options) error {
+	if o.join == "" {
+		return errors.New("-node requires -join http://<control-plane>")
+	}
+	name := o.name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "node"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	addr := o.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	n := controlplane.NewNode(name, o.join)
+	n.Shards = o.shards
+	fmt.Printf("node %s serving on %s, joining %s\n", name, addr, o.join)
+	if err := n.Run(ctx, addr, o.heartbeat); err != nil {
+		return err
+	}
+	fmt.Print(n.Dashboard())
+	return nil
+}
+
+// runControl runs the control plane: bootstrap training, the monthly
+// replay/retrain loop, and the final dashboard. With -nodes N the replay
+// is served by N joined daemons instead of the in-process engine.
+func runControl(ctx context.Context, o *options) error {
+	id := platform.ID(o.platform)
 	if _, err := platform.Get(id); err != nil {
 		return err
 	}
 	// Resolve the trainer before paying for fleet generation; this also
 	// accepts the CLI shorthands (lightgbm, ftt, ...).
-	resolved, err := model.Resolve(trainer)
+	resolved, err := model.Resolve(o.trainer)
 	if err != nil {
 		return err
 	}
 	if !resolved.Applicable(id) {
 		return fmt.Errorf("mlopsd: trainer %q is not applicable on %s", resolved.Name(), id)
 	}
-	trainer = resolved.Name()
-	res, err := pipeline.Generate(context.Background(),
-		faultsim.Config{Platform: id, Scale: scale, Seed: seed})
+	if o.nodes > 0 && o.addr == "" {
+		return errors.New("-nodes requires -addr so daemons can join")
+	}
+
+	res, err := pipeline.Generate(ctx, faultsim.Config{Platform: id, Scale: o.scale, Seed: o.seed})
 	if err != nil {
 		return err
 	}
@@ -69,10 +175,10 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int,
 	sort.Stable(trace.ByTime(all))
 
 	pipe := mlops.NewPipeline(id)
-	pipe.Seed = seed
-	pipe.TrainerName = trainer
-	pipe.Shards = shards
-	pipe.MemoryBudget = membudgetMiB << 20
+	pipe.Seed = o.seed
+	pipe.TrainerName = resolved.Name()
+	pipe.Shards = o.shards
+	pipe.MemoryBudget = o.membudget << 20
 
 	// Bootstrap: train on the first five months.
 	bootEnd := 150 * trace.Day
@@ -84,30 +190,88 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int,
 	fmt.Printf("[cycle 0] trained %s v%d  promoted=%v (%s)  benchmark %s\n",
 		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
 
-	server := pipe.NewServer()
-	for _, l := range res.Store.DIMMs() {
-		server.RegisterDIMM(l.ID, l.Part)
+	cp, err := controlplane.New(controlplane.Config{Pipeline: pipe, ExpectNodes: o.nodes})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("serving engine: %d shards, micro-batch=%v\n", server.Shards(), server.MicroBatch)
+	for _, l := range res.Store.DIMMs() {
+		cp.RegisterDIMM(l.ID, l.Part)
+	}
 
-	// ingestRange feeds all[lo:hi) through the engine in micro-batched
-	// ticks: each tick routes its events to the shards concurrently and
-	// scores every due prediction with one ScoreBatch call per shard.
+	var srv *http.Server
+	if o.addr != "" {
+		ln, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("control plane listening on http://%s\n", ln.Addr())
+		srv = &http.Server{Handler: cp.Handler()}
+		go srv.Serve(ln)
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(shCtx)
+		}()
+	}
+	if o.nodes > 0 {
+		fmt.Printf("waiting for %d node daemons to join...\n", o.nodes)
+		for !cp.Ready() {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		fmt.Println("fleet complete; replaying")
+	}
+
+	var alarmW *bufio.Writer
+	if o.alarmLog != "" {
+		out := os.Stdout
+		if o.alarmLog != "-" {
+			f, err := os.Create(o.alarmLog)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		alarmW = bufio.NewWriter(out)
+		defer alarmW.Flush()
+	}
+	// logAlarms renders the emitted stream one line per alarm, scores as
+	// hex floats — exact, so mode A and mode B logs can be byte-compared.
+	logAlarms := func(as []mlops.Alarm) {
+		if alarmW == nil {
+			return
+		}
+		for _, a := range as {
+			fmt.Fprintf(alarmW, "ALARM %d %s %d %d %s %s\n",
+				int64(a.Time), a.DIMM.Platform, a.DIMM.Server, a.DIMM.Slot,
+				strconv.FormatFloat(a.Score, 'x', -1, 64), a.Model)
+		}
+	}
+
+	// ingestRange feeds all[lo:hi) through the control plane in ticks:
+	// each tick micro-batches onto the engine shards in-process, or is
+	// journaled and delivered to the owning node daemons.
 	const tick = 1024
-	ingestRange := func(lo, hi int) ([]mlops.Alarm, error) {
-		var out []mlops.Alarm
-		for ; lo < hi; lo += tick {
+	ingestRange := func(lo, hi int, collect *[]mlops.Alarm) error {
+		for ; lo < hi && ctx.Err() == nil; lo += tick {
 			end := lo + tick
 			if end > hi {
 				end = hi
 			}
-			as, err := server.IngestBatch(all[lo:end])
+			res, err := cp.IngestTick(all[lo:end])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out = append(out, as...)
+			logAlarms(res.Alarms)
+			if collect != nil {
+				*collect = append(*collect, res.Alarms...)
+			}
 		}
-		return out, nil
+		return nil
 	}
 
 	// Serve the post-validation stream month by month, retraining after
@@ -115,26 +279,24 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int,
 	cycle := 1
 	var alarms []mlops.Alarm
 	// Skip history the bootstrap model was trained on (it is replayed
-	// into the server silently so live features see full context).
+	// into the serving state silently so live features see full context).
 	cursor := sort.Search(len(all), func(i int) bool { return all[i].Time >= valEnd })
-	if _, err := ingestRange(0, cursor); err != nil {
+	if err := ingestRange(0, cursor, nil); err != nil {
 		return err
 	}
-	for monthStart := valEnd; monthStart < trace.ObservationSpan; monthStart += 30 * trace.Day {
+	for monthStart := valEnd; monthStart < trace.ObservationSpan && ctx.Err() == nil; monthStart += 30 * trace.Day {
 		monthEnd := monthStart + 30*trace.Day
 		hi := cursor + sort.Search(len(all)-cursor, func(i int) bool { return all[cursor+i].Time >= monthEnd })
-		monthlyAlarms, err := ingestRange(cursor, hi)
-		if err != nil {
+		before := len(alarms)
+		if err := ingestRange(cursor, hi, &alarms); err != nil {
 			return err
 		}
 		cursor = hi
-		alarms = append(alarms, monthlyAlarms...)
-		monthAlarms := len(monthlyAlarms)
 		pipe.ResolveAlarms(alarms, failed, 30*trace.Day)
 		prec, rec := pipe.Monitor.LivePrecisionRecall()
 		dec := pipe.Monitor.ShouldRetrain(0.25, 0.15)
 		fmt.Printf("[month %d] alarms=%d  live P=%.2f R=%.2f  PSI=%.3f  retrain=%v (%s)\n",
-			int(monthStart/(30*trace.Day)), monthAlarms, prec, rec, dec.PSI, dec.Retrain, dec.Reason)
+			int(monthStart/(30*trace.Day)), len(alarms)-before, prec, rec, dec.PSI, dec.Retrain, dec.Reason)
 
 		// Retraining cycle with all data seen so far, gated.
 		tr, err := pipe.TrainAndMaybePromote(res.Store, monthStart, monthEnd)
@@ -147,13 +309,35 @@ func run(id platform.ID, trainer string, scale float64, seed uint64, shards int,
 		cycle++
 	}
 
+	// Drain work a dead-then-rejoined node may have left pending, and
+	// flush the final alarms (also the graceful-shutdown path).
+	for i := 0; i < 600; i++ {
+		res, err := cp.Flush()
+		if err != nil {
+			return err
+		}
+		logAlarms(res.Alarms)
+		alarms = append(alarms, res.Alarms...)
+		if res.Pending == 0 || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if alarmW != nil {
+		alarmW.Flush()
+	}
+
 	fmt.Println()
-	server.MemoryStats() // refresh the dashboard's resident-bytes gauge
+	cp.MemoryStats() // refresh the dashboard's resident-bytes gauge
 	fmt.Print(pipe.Monitor.Dashboard())
 	fmt.Println("registry state:")
 	for _, v := range pipe.Registry.List() {
 		fmt.Printf("  %s v%d stage=%-10s F1=%.2f threshold=%.2f\n",
 			v.Name, v.Version, v.Stage, v.Metrics.F1, v.Threshold)
+	}
+	if o.hold && o.addr != "" && ctx.Err() == nil {
+		fmt.Println("replay complete; holding for scrapes (interrupt to exit)")
+		<-ctx.Done()
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsageListsAllFlags keeps the package doc comment in sync with the
+// actual flag set: every declared flag must appear (as -name) in the
+// usage text at the top of main.go.
+func TestUsageListsAllFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, found := strings.Cut(string(src), "package main")
+	if !found {
+		t.Fatal("main.go has no package clause")
+	}
+	var o options
+	fs := newFlagSet(&o)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "-"+f.Name) {
+			t.Errorf("doc comment does not mention flag -%s", f.Name)
+		}
+	})
+}
+
+// TestUnknownFlag checks the ContinueOnError flag set reports an unknown
+// flag with a usage dump covering both modes' flags.
+func TestUnknownFlag(t *testing.T) {
+	var o options
+	fs := newFlagSet(&o)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	if err := fs.Parse([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	out := buf.String()
+	for _, want := range []string{"-node", "-join", "-addr", "-trainer", "-membudget", "-alarm-log", "-heartbeat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unknown-flag usage output does not mention %s:\n%s", want, out)
+		}
+	}
+}

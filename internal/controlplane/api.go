@@ -1,0 +1,226 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Wire types of the control-plane HTTP API (JSON bodies). Event batches
+// travel as BMC text log lines (trace.EncodeEvent), alarms as JSON;
+// alarm scores round-trip bit-exactly through encoding/json's
+// shortest-representation float64 codec, thresholds through hex-float
+// headers — nothing on the wire can perturb the byte-identical alarm
+// invariant.
+
+// Forwarding headers (control plane → node, and artifact responses).
+const (
+	// HeaderModelVersion pins the registry model version a forwarded tick
+	// must be served with: catch-up replay after a node rejoin re-serves
+	// history under the historically-correct model, so throttle and
+	// cooldown state rebuilds exactly.
+	HeaderModelVersion = "X-Memfp-Model-Version"
+	// HeaderTick carries the control plane's journal index for a
+	// forwarded tick, making delivery idempotent: a node that already
+	// served the tick replays its recorded response instead of
+	// double-ingesting.
+	HeaderTick = "X-Memfp-Tick"
+
+	// Artifact response headers.
+	HeaderModelName = "X-Memfp-Model-Name"
+	HeaderAlgorithm = "X-Memfp-Algorithm"
+	HeaderPlatform  = "X-Memfp-Platform"
+	// HeaderThreshold is the version's decision threshold as a hex float
+	// (strconv 'x' format) — exact, unlike any decimal rendering.
+	HeaderThreshold = "X-Memfp-Threshold"
+	HeaderEpoch     = "X-Memfp-Epoch"
+)
+
+// AlarmJSON is one alarm on the wire.
+type AlarmJSON struct {
+	Time     int64   `json:"time"`
+	Platform string  `json:"platform"`
+	Server   int     `json:"server"`
+	Slot     int     `json:"slot"`
+	Score    float64 `json:"score"`
+	Model    string  `json:"model"`
+}
+
+func toWire(a mlops.Alarm) AlarmJSON {
+	return AlarmJSON{
+		Time:     int64(a.Time),
+		Platform: string(a.DIMM.Platform),
+		Server:   a.DIMM.Server,
+		Slot:     a.DIMM.Slot,
+		Score:    a.Score,
+		Model:    a.Model,
+	}
+}
+
+func fromWire(a AlarmJSON) mlops.Alarm {
+	return mlops.Alarm{
+		Time:  trace.Minutes(a.Time),
+		DIMM:  trace.DIMMID{Platform: platform.ID(a.Platform), Server: a.Server, Slot: a.Slot},
+		Score: a.Score,
+		Model: a.Model,
+	}
+}
+
+func toWireSlice(as []mlops.Alarm) []AlarmJSON {
+	out := make([]AlarmJSON, len(as))
+	for i, a := range as {
+		out[i] = toWire(a)
+	}
+	return out
+}
+
+// TickResponse reports one ingest/flush/resume call's outcome.
+type TickResponse struct {
+	Alarms  []AlarmJSON `json:"alarms"`
+	Pending int         `json:"pending"`
+}
+
+// AlarmsResponse is a page of the emitted alarm stream; Next is the
+// cursor for the following poll.
+type AlarmsResponse struct {
+	Alarms []AlarmJSON `json:"alarms"`
+	Next   int         `json:"next"`
+}
+
+// ModelInfo is one registry version's metadata.
+type ModelInfo struct {
+	Name      string  `json:"name"`
+	Version   int     `json:"version"`
+	Platform  string  `json:"platform"`
+	Algorithm string  `json:"algorithm"`
+	Stage     string  `json:"stage"`
+	Threshold float64 `json:"threshold"`
+	F1        float64 `json:"f1"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	Artifact  int     `json:"artifact_bytes"`
+}
+
+// PromoteRequest / RollbackRequest drive registry lifecycle changes.
+type PromoteRequest struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+}
+
+type RollbackRequest struct {
+	Name string `json:"name"`
+}
+
+// EpochResponse reports the registry epoch after a lifecycle change.
+type EpochResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Version int    `json:"version"` // production version now serving
+}
+
+// NodeStats is a node daemon's heartbeat telemetry.
+type NodeStats struct {
+	Events          int64     `json:"events"`
+	Predictions     int64     `json:"predictions"`
+	Alarms          int64     `json:"alarms"`
+	ScoreBins       [10]int64 `json:"score_bins"`
+	ResidentBytes   int64     `json:"resident_bytes"`
+	Evictions       int64     `json:"evictions"`
+	Rehydrations    int64     `json:"rehydrations"`
+	Compactions     int64     `json:"compactions"`
+	CompactedEvents int64     `json:"compacted_events"`
+}
+
+// JoinRequest registers a node daemon (or re-registers one after a
+// restart — same name, fresh serving state).
+type JoinRequest struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"` // node base URL the control plane forwards to
+}
+
+// JoinResponse is the node's assignment: its contiguous hash-slot range
+// plus everything needed to build a serving engine identical to the
+// single-process one.
+type JoinResponse struct {
+	Index        int    `json:"index"`
+	Nodes        int    `json:"nodes"`
+	Slots        int    `json:"slots"`
+	SlotFrom     int    `json:"slot_from"`
+	SlotTo       int    `json:"slot_to"` // exclusive
+	Platform     string `json:"platform"`
+	Model        string `json:"model"`
+	PredictEvery int64  `json:"predict_every"` // minutes
+	Cooldown     int64  `json:"cooldown"`      // minutes
+	MicroBatch   bool   `json:"micro_batch"`
+	MemoryBudget int64  `json:"memory_budget"`
+	Epoch        uint64 `json:"epoch"`
+	Version      int    `json:"version"` // current production version (0 = none yet)
+}
+
+// HeartbeatRequest / HeartbeatResponse keep a node registered and tell
+// it the current promotion epoch so it can pull new artifacts.
+type HeartbeatRequest struct {
+	Name  string    `json:"name"`
+	Stats NodeStats `json:"stats"`
+}
+
+type HeartbeatResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Version int    `json:"version"`
+}
+
+// NodeInfo is one registered node in a status report.
+type NodeInfo struct {
+	Name       string    `json:"name"`
+	Addr       string    `json:"addr"`
+	Index      int       `json:"index"`
+	SlotFrom   int       `json:"slot_from"`
+	SlotTo     int       `json:"slot_to"`
+	Alive      bool      `json:"alive"`
+	BeatAgeSec float64   `json:"beat_age_sec"`
+	SentTicks  int       `json:"sent_ticks"`
+	Stats      NodeStats `json:"stats"`
+}
+
+// StatusResponse summarizes the control plane.
+type StatusResponse struct {
+	Platform    string     `json:"platform"`
+	Model       string     `json:"model"`
+	Mode        string     `json:"mode"` // "local" or "distributed"
+	Epoch       uint64     `json:"epoch"`
+	Paused      bool       `json:"paused"`
+	Ticks       int        `json:"ticks"`
+	Pending     int        `json:"pending"`
+	Alarms      int        `json:"alarms"`
+	Events      int64      `json:"events"`
+	Predictions int64      `json:"predictions"`
+	ExpectNodes int        `json:"expect_nodes"`
+	Nodes       []NodeInfo `json:"nodes,omitempty"`
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body, rejecting trailing garbage.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package controlplane
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memfp/internal/eval"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+)
+
+// newLocalCP builds a local-mode control plane over an always-firing
+// closure model, served through a real HTTP listener.
+func newLocalCP(t *testing.T) (*Server, *Client, *httptest.Server) {
+	t.Helper()
+	cp, err := New(Config{Pipeline: closurePipeline(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cp.Handler())
+	t.Cleanup(ts.Close)
+	return cp, NewClient(ts.URL), ts
+}
+
+func TestAPIHealthStatusAndMethods(t *testing.T) {
+	_, cl, ts := newLocalCP(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "local" || st.Platform != string(platform.Purley) || st.Epoch == 0 {
+		t.Errorf("status = %+v, want local-mode Purley with promoted epoch", st)
+	}
+
+	// Method patterns give automatic 405s.
+	resp, err = http.Post(ts.URL+"/api/v1/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/v1/status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/v1/ingest = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAPIIngestAndAlarms(t *testing.T) {
+	f := fleet(t)
+	_, cl, _ := newLocalCP(t)
+
+	n := min(3000, len(f.all))
+	var total []AlarmJSON
+	for lo := 0; lo < n; lo += 1000 {
+		tr, err := cl.IngestLines(encodeLines(f, lo, min(lo+1000, n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = append(total, tr.Alarms...)
+	}
+	if len(total) == 0 {
+		t.Fatal("always-fire model raised no alarms over the ingested stream")
+	}
+
+	ar, err := cl.Alarms(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Alarms) != len(total) || ar.Next != len(total) {
+		t.Errorf("alarms since 0: %d next=%d, want %d", len(ar.Alarms), ar.Next, len(total))
+	}
+	// Paging from a mid-stream cursor.
+	ar2, err := cl.Alarms(ar.Next - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar2.Alarms) != 1 {
+		t.Errorf("alarms since next-1: %d, want 1", len(ar2.Alarms))
+	}
+	// Over-range cursors clamp, negative ones are rejected.
+	if ar3, err := cl.Alarms(1 << 20); err != nil || len(ar3.Alarms) != 0 {
+		t.Errorf("over-range cursor: %v, %d alarms", err, len(ar3.Alarms))
+	}
+	if _, err := cl.Alarms(-1); err == nil || !strings.Contains(err.Error(), "cursor") {
+		t.Errorf("negative cursor accepted: %v", err)
+	}
+
+	// Malformed line and unknown part number are 400s naming the line.
+	if _, err := cl.IngestLines("BOGUS line\n"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line: %v", err)
+	}
+	good := strings.SplitN(encodeLines(f, 0, 1), "\n", 2)[0]
+	fields := strings.Fields(good)
+	fields[6] = "NOT-A-PART"
+	if _, err := cl.IngestLines(strings.Join(fields, " ") + "\n"); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Errorf("unknown part number: %v", err)
+	}
+}
+
+func TestAPIModelLifecycle(t *testing.T) {
+	cp, cl, _ := newLocalCP(t)
+	pipe := cp.Pipeline()
+
+	models, err := cl.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Stage != string(mlops.StageProduction) || models[0].Artifact != 0 {
+		t.Fatalf("models = %+v, want one production closure version", models)
+	}
+
+	if _, err := cl.Promote("", 99); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("promote unknown version: %v", err)
+	}
+	if _, err := cl.Rollback(""); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("rollback with no archived version: %v", err)
+	}
+
+	pipe.Registry.RegisterScorer(pipe.ModelName, platform.Purley, "always-quiet",
+		mlops.ScorerFunc(func([]float64) float64 { return 0 }), eval.Metrics{F1: 1}, 0.5)
+	before := pipe.Registry.Epoch()
+	er, err := cl.Promote("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Version != 2 || er.Epoch <= before {
+		t.Errorf("promote v2 = %+v (epoch before %d)", er, before)
+	}
+	er, err = cl.Rollback("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Version != 1 {
+		t.Errorf("rollback restored v%d, want v1", er.Version)
+	}
+}
+
+func TestAPIArtifact(t *testing.T) {
+	f := fleet(t)
+	cp, err := New(Config{Pipeline: mirror(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cp.Handler())
+	t.Cleanup(ts.Close)
+	cl := NewClient(ts.URL)
+	name := cp.Pipeline().ModelName
+
+	// Production pull: bytes + metadata headers, exact hex threshold.
+	art, err := cl.Artifact("", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Name != name || art.Version != 1 || string(art.Data) != string(f.artifact) {
+		t.Fatalf("production artifact = %s v%d (%d bytes)", art.Name, art.Version, len(art.Data))
+	}
+	if art.Threshold != f.threshold {
+		t.Errorf("threshold %v does not round-trip exactly (want %v)", art.Threshold, f.threshold)
+	}
+	if !strings.Contains(art.ETag, "-e") {
+		t.Errorf("production ETag %q is not epoch-cache-busted", art.ETag)
+	}
+
+	// Conditional pull: unchanged epoch is a 304, a promotion busts it.
+	again, err := cl.Artifact("", 0, art.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.NotModified {
+		t.Error("If-None-Match with current ETag did not 304")
+	}
+	if _, err := cl.Promote(name, 2); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := cl.Artifact("", 0, art.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NotModified || fresh.Version != 2 || fresh.Threshold != f.threshold/2 {
+		t.Errorf("post-promotion pull = v%d threshold=%v notModified=%v",
+			fresh.Version, fresh.Threshold, fresh.NotModified)
+	}
+
+	// Version-pinned pull is immutable: same ETag across epochs, 304s.
+	pin, err := cl.Artifact(name, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pin.Version != 1 || strings.Contains(pin.ETag, "-e") {
+		t.Errorf("pinned pull = v%d etag=%q", pin.Version, pin.ETag)
+	}
+	if p2, err := cl.Artifact(name, 1, pin.ETag); err != nil || !p2.NotModified {
+		t.Errorf("pinned If-None-Match: %+v, %v", p2, err)
+	}
+
+	// Error paths: unknown version/name, malformed version, no envelope.
+	if _, err := cl.Artifact(name, 7, ""); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown version: %v", err)
+	}
+	if _, err := cl.Artifact("nope", 1, ""); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown model: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/models/artifact?version=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed version = %d, want 400", resp.StatusCode)
+	}
+	_, cloCl, _ := newLocalCP(t)
+	if _, err := cloCl.Artifact("", 0, ""); err == nil || !strings.Contains(err.Error(), "artifact") {
+		t.Errorf("closure production should 404 on artifact pull: %v", err)
+	}
+}
+
+func TestAPIPauseResume(t *testing.T) {
+	f := fleet(t)
+	_, cl, _ := newLocalCP(t)
+
+	if err := cl.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Paused {
+		t.Fatal("status not paused after pause")
+	}
+	n := min(2000, len(f.all))
+	tr, err := cl.IngestLines(encodeLines(f, 0, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Alarms) != 0 || tr.Pending != n {
+		t.Fatalf("paused ingest served: %d alarms, %d pending (want 0, %d)", len(tr.Alarms), tr.Pending, n)
+	}
+	res, err := cl.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pending != 0 || len(res.Alarms) == 0 {
+		t.Errorf("resume drained %d alarms with %d pending, want >0 and 0", len(res.Alarms), res.Pending)
+	}
+}
+
+func TestAPIDistributedGating(t *testing.T) {
+	f := fleet(t)
+
+	// Local mode refuses joins with a hint, and unknown heartbeats 404.
+	_, cl, _ := newLocalCP(t)
+	if _, err := cl.Join(JoinRequest{Name: "n1", Addr: "http://x"}); err == nil ||
+		!strings.Contains(err.Error(), "-nodes") {
+		t.Errorf("local-mode join: %v", err)
+	}
+	if _, err := cl.Heartbeat(HeartbeatRequest{Name: "ghost"}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown heartbeat: %v", err)
+	}
+
+	// Distributed mode refuses ingest until the fleet is complete.
+	cp, err := New(Config{Pipeline: closurePipeline(t), ExpectNodes: 1, Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cp.Handler())
+	t.Cleanup(ts.Close)
+	dcl := NewClient(ts.URL)
+	if _, err := dcl.IngestLines(encodeLines(f, 0, 1)); err == nil ||
+		!strings.Contains(err.Error(), strconv.Itoa(http.StatusServiceUnavailable)) {
+		t.Errorf("ingest before join: %v", err)
+	}
+	if _, err := dcl.Join(JoinRequest{Name: "", Addr: "http://x"}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Errorf("nameless join: %v", err)
+	}
+	jr, err := dcl.Join(JoinRequest{Name: "n1", Addr: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.SlotFrom != 0 || jr.SlotTo != 8 || jr.Nodes != 1 || jr.Version != 1 {
+		t.Errorf("join assignment = %+v", jr)
+	}
+	if jr.PredictEvery != 5 || !jr.MicroBatch {
+		t.Errorf("join serving params = %+v, want engine defaults", jr)
+	}
+	if _, err := dcl.Join(JoinRequest{Name: "n2", Addr: "http://x"}); err == nil ||
+		!strings.Contains(err.Error(), "409") {
+		t.Errorf("join past fleet size: %v", err)
+	}
+	if hr, err := dcl.Heartbeat(HeartbeatRequest{Name: "n1"}); err != nil || hr.Version != 1 {
+		t.Errorf("heartbeat = %+v, %v", hr, err)
+	}
+}

@@ -1,0 +1,65 @@
+package controlplane
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// The PR's headline cost question: what does the HTTP control plane add
+// over calling the engine in-process? Both benchmarks replay the same
+// event prefix in 1024-event ticks against the always-fire closure model
+// on a fresh engine per iteration; the delta is transport + codec.
+
+const benchTick = 1024
+
+func BenchmarkInProcessIngest(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pipe := closurePipeline(b)
+		eng := pipe.NewServer()
+		for id, part := range f.parts {
+			eng.RegisterDIMM(id, part)
+		}
+		b.StartTimer()
+		for lo := 0; lo < n; lo += benchTick {
+			if _, err := eng.IngestBatch(f.all[lo:min(lo+benchTick, n)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkControlPlaneIngest(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
+	// Pre-encode the tick bodies once; the benchmark measures the server
+	// side (HTTP + line decode + engine), not the client's encoder.
+	var bodies []string
+	for lo := 0; lo < n; lo += benchTick {
+		bodies = append(bodies, encodeLines(f, lo, min(lo+benchTick, n)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp, err := New(Config{Pipeline: closurePipeline(b)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(cp.Handler())
+		cl := NewClient(ts.URL)
+		b.StartTimer()
+		for _, body := range bodies {
+			if _, err := cl.IngestLines(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ts.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}

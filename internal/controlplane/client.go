@@ -1,0 +1,246 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client speaks the control-plane HTTP API. Node daemons use it to join,
+// heartbeat and pull artifacts; memfp ctl uses it for operator commands.
+type Client struct {
+	base string
+	HTTP *http.Client
+}
+
+// NewClient wraps a control-plane base URL (e.g. http://127.0.0.1:9090).
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Base returns the wrapped base URL.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) get(path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.do(req, out)
+}
+
+// Status fetches the control-plane summary.
+func (c *Client) Status() (StatusResponse, error) {
+	var st StatusResponse
+	err := c.get("/api/v1/status", &st)
+	return st, err
+}
+
+// IngestLines posts one tick of BMC text log lines.
+func (c *Client) IngestLines(text string) (TickResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+"/api/v1/ingest", strings.NewReader(text))
+	if err != nil {
+		return TickResponse{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	var tr TickResponse
+	err = c.do(req, &tr)
+	return tr, err
+}
+
+// Flush re-drives delivery of pending work.
+func (c *Client) Flush() (TickResponse, error) {
+	var tr TickResponse
+	err := c.post("/api/v1/flush", nil, &tr)
+	return tr, err
+}
+
+// Alarms pages the emitted alarm stream from a cursor.
+func (c *Client) Alarms(since int) (AlarmsResponse, error) {
+	var ar AlarmsResponse
+	err := c.get("/api/v1/alarms?since="+strconv.Itoa(since), &ar)
+	return ar, err
+}
+
+// Models lists every registry version.
+func (c *Client) Models() ([]ModelInfo, error) {
+	var out struct {
+		Models []ModelInfo `json:"models"`
+	}
+	err := c.get("/api/v1/models", &out)
+	return out.Models, err
+}
+
+// Promote moves a staged version to production.
+func (c *Client) Promote(name string, version int) (EpochResponse, error) {
+	var er EpochResponse
+	err := c.post("/api/v1/models/promote", PromoteRequest{Name: name, Version: version}, &er)
+	return er, err
+}
+
+// Rollback restores the previously archived production version.
+func (c *Client) Rollback(name string) (EpochResponse, error) {
+	var er EpochResponse
+	err := c.post("/api/v1/models/rollback", RollbackRequest{Name: name}, &er)
+	return er, err
+}
+
+// Pause opens a maintenance window.
+func (c *Client) Pause() error { return c.post("/api/v1/pause", nil, nil) }
+
+// Resume closes it and drains held work.
+func (c *Client) Resume() (TickResponse, error) {
+	var tr TickResponse
+	err := c.post("/api/v1/resume", nil, &tr)
+	return tr, err
+}
+
+// Join registers a node daemon.
+func (c *Client) Join(req JoinRequest) (JoinResponse, error) {
+	var jr JoinResponse
+	err := c.post("/api/v1/nodes/join", req, &jr)
+	return jr, err
+}
+
+// Heartbeat refreshes a node's liveness and telemetry.
+func (c *Client) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	var hr HeartbeatResponse
+	err := c.post("/api/v1/nodes/heartbeat", req, &hr)
+	return hr, err
+}
+
+// Artifact is a pulled model envelope plus its registry metadata.
+type Artifact struct {
+	Name        string
+	Version     int
+	Algorithm   string
+	Platform    string
+	Threshold   float64
+	ETag        string
+	Data        []byte
+	NotModified bool
+}
+
+// Artifact pulls a model envelope. version 0 requests the production
+// version (epoch-cache-busted ETag); a non-empty etag is sent as
+// If-None-Match, and a 304 returns NotModified with no body.
+func (c *Client) Artifact(name string, version int, etag string) (Artifact, error) {
+	u := c.base + "/api/v1/models/artifact"
+	var params []string
+	if name != "" {
+		params = append(params, "name="+name)
+	}
+	if version > 0 {
+		params = append(params, "version="+strconv.Itoa(version))
+	}
+	if len(params) > 0 {
+		u += "?" + strings.Join(params, "&")
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return Artifact{}, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return Artifact{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return Artifact{ETag: etag, NotModified: true}, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil && e.Error != "" {
+			return Artifact{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return Artifact{}, fmt.Errorf("%s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a := Artifact{
+		Name:      resp.Header.Get(HeaderModelName),
+		Algorithm: resp.Header.Get(HeaderAlgorithm),
+		Platform:  resp.Header.Get(HeaderPlatform),
+		ETag:      resp.Header.Get("ETag"),
+		Data:      data,
+	}
+	a.Version, _ = strconv.Atoi(resp.Header.Get(HeaderModelVersion))
+	if th := resp.Header.Get(HeaderThreshold); th != "" {
+		v, err := strconv.ParseFloat(th, 64)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("bad threshold header %q: %w", th, err)
+		}
+		a.Threshold = v
+	}
+	return a, nil
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return string(b), nil
+}

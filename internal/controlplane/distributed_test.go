@@ -1,0 +1,167 @@
+package controlplane
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memfp/internal/mlops"
+)
+
+// TestDistributedByteIdenticalReplay is the PR's core invariant: two node
+// daemons replaying the fleet through the control plane emit the
+// byte-identical alarm stream of the single-process sharded engine —
+// across a mid-stream model promotion, and across one node being killed
+// mid-stream and rejoining (fresh state, same name) to catch up from the
+// journal.
+func TestDistributedByteIdenticalReplay(t *testing.T) {
+	f := fleet(t)
+	const tick = 512
+	all := f.all
+	nTicks := (len(all) + tick - 1) / tick
+	if nTicks < 12 {
+		t.Fatalf("fixture too small: %d ticks", nTicks)
+	}
+	promoteAt, killAt, rejoinAt := nTicks/3, nTicks/2, 2*nTicks/3
+
+	// Reference: the single-process sharded engine, promotion at the same
+	// tick boundary.
+	refPipe := mirror(t)
+	refPipe.Shards = 3
+	name := refPipe.ModelName
+	ref := refPipe.NewServer()
+	for id, part := range f.parts {
+		ref.RegisterDIMM(id, part)
+	}
+	var refAlarms []mlops.Alarm
+	ti := 0
+	for lo := 0; lo < len(all); lo += tick {
+		if ti == promoteAt {
+			if err := refPipe.Registry.Promote(name, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hi := min(lo+tick, len(all))
+		as, err := ref.IngestBatch(all[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refAlarms = append(refAlarms, as...)
+		ti++
+	}
+	if len(refAlarms) == 0 {
+		t.Fatal("reference replay emitted no alarms; fixture cannot discriminate")
+	}
+
+	// Distributed: a control plane and two node daemons over real HTTP.
+	distPipe := mirror(t)
+	cp, err := New(Config{Pipeline: distPipe, ExpectNodes: 2, Slots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, part := range f.parts {
+		cp.RegisterDIMM(id, part)
+	}
+	cpSrv := httptest.NewServer(cp.Handler())
+	t.Cleanup(cpSrv.Close)
+	cl := NewClient(cpSrv.URL)
+
+	n1 := NewNode("n1", cpSrv.URL)
+	n1.Shards = 2
+	ts1 := httptest.NewServer(n1.Handler())
+	t.Cleanup(ts1.Close)
+	if err := n1.JoinOnce(ts1.URL); err != nil {
+		t.Fatal(err)
+	}
+	n2 := NewNode("n2", cpSrv.URL)
+	n2.Shards = 2
+	ts2 := httptest.NewServer(n2.Handler())
+	if err := n2.JoinOnce(ts2.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Ready() {
+		t.Fatal("control plane not ready after both joins")
+	}
+
+	var distAlarms []mlops.Alarm
+	sawPending := false
+	ti = 0
+	for lo := 0; lo < len(all); lo += tick {
+		if ti == promoteAt {
+			// Promotion over the operator API, at the same tick boundary as
+			// the reference; subsequent ticks pin v2 and the nodes pull its
+			// artifact on demand.
+			if _, err := cl.Promote(name, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ti == killAt {
+			ts2.Close() // node n2 dies mid-stream; its ticks go pending
+		}
+		if ti == rejoinAt {
+			// Fresh process, same name: journal replay rebuilds its serving
+			// state under each tick's pinned model version.
+			n2b := NewNode("n2", cpSrv.URL)
+			n2b.Shards = 2
+			ts2b := httptest.NewServer(n2b.Handler())
+			t.Cleanup(ts2b.Close)
+			if err := n2b.JoinOnce(ts2b.URL); err != nil {
+				t.Fatal(err)
+			}
+			res, err := cp.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			distAlarms = append(distAlarms, res.Alarms...)
+		}
+		hi := min(lo+tick, len(all))
+		res, err := cp.IngestTick(all[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		distAlarms = append(distAlarms, res.Alarms...)
+		if res.Pending > 0 {
+			sawPending = true
+		}
+		ti++
+	}
+	for i := 0; i < 10; i++ {
+		res, err := cp.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		distAlarms = append(distAlarms, res.Alarms...)
+		if res.Pending == 0 {
+			break
+		}
+	}
+
+	if !sawPending {
+		t.Error("killing a node never left ticks pending; the kill path was not exercised")
+	}
+	got, want := renderAlarms(distAlarms), renderAlarms(refAlarms)
+	if got != want {
+		t.Errorf("distributed alarm stream diverges from single-process reference:\n%s",
+			firstDiff(got, want))
+	}
+	var sawV1, sawV2 bool
+	for _, a := range refAlarms {
+		sawV1 = sawV1 || strings.HasSuffix(a.Model, "-v1")
+		sawV2 = sawV2 || strings.HasSuffix(a.Model, "-v2")
+	}
+	if !sawV1 || !sawV2 {
+		t.Errorf("want alarms under both model versions, got v1=%v v2=%v", sawV1, sawV2)
+	}
+}
+
+// firstDiff reports the first differing line of two renderings.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(g), len(w))
+}

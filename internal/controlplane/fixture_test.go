@@ -1,0 +1,139 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"memfp/internal/eval"
+	"memfp/internal/faultsim"
+	"memfp/internal/ml/model"
+	"memfp/internal/mlops"
+	"memfp/internal/pipeline"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// The shared fixture: one small Purley fleet (the examples-smoke scale,
+// known to contain training positives) and one GBDT artifact trained on
+// its first five months. Tests rebuild registries from the serialized
+// artifact — the same bytes a node daemon pulls over HTTP — so every
+// scorer in play rehydrates from the identical envelope.
+type fleetFixture struct {
+	all       []trace.Event
+	parts     map[trace.DIMMID]platform.DIMMPart
+	modelName string
+	artifact  []byte
+	threshold float64
+	metrics   eval.Metrics
+	valScores []float64
+	err       error
+}
+
+var (
+	fixOnce sync.Once
+	fix     fleetFixture
+)
+
+func fleet(tb testing.TB) *fleetFixture {
+	tb.Helper()
+	fixOnce.Do(func() {
+		res, err := pipeline.Generate(context.Background(),
+			faultsim.Config{Platform: platform.Purley, Scale: 0.03, Seed: 31})
+		if err != nil {
+			fix.err = err
+			return
+		}
+		parts := map[trace.DIMMID]platform.DIMMPart{}
+		var all []trace.Event
+		for _, l := range res.Store.DIMMs() {
+			all = append(all, l.Events...)
+			parts[l.ID] = l.Part
+		}
+		sort.Stable(trace.ByTime(all))
+
+		pipe := mlops.NewPipeline(platform.Purley)
+		pipe.Seed = 31
+		tr, err := pipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+		if err != nil {
+			fix.err = err
+			return
+		}
+		if !tr.Promoted {
+			fix.err = fmt.Errorf("fixture model not promoted: %s", tr.Reason)
+			return
+		}
+		fix.all = all
+		fix.parts = parts
+		fix.modelName = pipe.ModelName
+		fix.artifact = tr.Version.Artifact
+		fix.threshold = tr.Version.Threshold
+		fix.metrics = tr.Version.Metrics
+	})
+	if fix.err != nil {
+		tb.Fatalf("fleet fixture: %v", fix.err)
+	}
+	return &fix
+}
+
+// mirror builds a fresh pipeline whose registry holds the fixture
+// artifact as promoted v1 plus a staged v2 — the same model at half the
+// threshold, so a mid-stream promotion visibly changes the alarm stream.
+func mirror(tb testing.TB) *mlops.Pipeline {
+	tb.Helper()
+	f := fleet(tb)
+	pipe := mlops.NewPipeline(platform.Purley)
+	if _, err := pipe.Registry.ImportVersion(pipe.ModelName, 1, platform.Purley,
+		model.NameGBDT, f.artifact, f.metrics, f.threshold); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := pipe.Registry.ImportVersion(pipe.ModelName, 2, platform.Purley,
+		model.NameGBDT, f.artifact, f.metrics, f.threshold/2); err != nil {
+		tb.Fatal(err)
+	}
+	if err := pipe.Registry.Promote(pipe.ModelName, 1); err != nil {
+		tb.Fatal(err)
+	}
+	return pipe
+}
+
+// closurePipeline builds a pipeline serving an always-firing closure
+// scorer (no artifact) — cheap alarms for API tests, and the no-envelope
+// error path for the artifact endpoint.
+func closurePipeline(tb testing.TB) *mlops.Pipeline {
+	tb.Helper()
+	pipe := mlops.NewPipeline(platform.Purley)
+	pipe.Shards = 2
+	mv := pipe.Registry.RegisterScorer(pipe.ModelName, platform.Purley, "always-fire",
+		mlops.ScorerFunc(func([]float64) float64 { return 1 }), eval.Metrics{F1: 1}, 0.5)
+	if err := pipe.Registry.Promote(pipe.ModelName, mv.Version); err != nil {
+		tb.Fatal(err)
+	}
+	return pipe
+}
+
+// encodeLines renders fixture events [lo, hi) as BMC text log lines.
+func encodeLines(f *fleetFixture, lo, hi int) string {
+	var sb strings.Builder
+	for _, e := range f.all[lo:hi] {
+		sb.WriteString(trace.EncodeEvent(e, f.parts[e.DIMM]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderAlarms renders an alarm stream with exact (hex-float) scores for
+// byte comparison.
+func renderAlarms(as []mlops.Alarm) string {
+	var sb strings.Builder
+	for _, a := range as {
+		fmt.Fprintf(&sb, "%d %s %d %d %s %s\n",
+			int64(a.Time), a.DIMM.Platform, a.DIMM.Server, a.DIMM.Slot,
+			strconv.FormatFloat(a.Score, 'x', -1, 64), a.Model)
+	}
+	return sb.String()
+}

@@ -1,0 +1,268 @@
+package controlplane
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// routes wires the HTTP API. Method-qualified patterns give wrong-method
+// requests an automatic 405.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /api/v1/flush", s.handleFlush)
+	mux.HandleFunc("GET /api/v1/alarms", s.handleAlarms)
+	mux.HandleFunc("GET /api/v1/models", s.handleModels)
+	mux.HandleFunc("POST /api/v1/models/promote", s.handlePromote)
+	mux.HandleFunc("POST /api/v1/models/rollback", s.handleRollback)
+	mux.HandleFunc("GET /api/v1/models/artifact", s.handleArtifact)
+	mux.HandleFunc("POST /api/v1/pause", s.handlePause)
+	mux.HandleFunc("POST /api/v1/resume", s.handleResume)
+	mux.HandleFunc("POST /api/v1/nodes/join", s.handleJoin)
+	mux.HandleFunc("POST /api/v1/nodes/heartbeat", s.handleHeartbeat)
+	s.mux = mux
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.status())
+}
+
+// handleIngest accepts a batch of BMC text log lines (one tick), auto-
+// registering DIMMs from the part numbers on the lines, exactly like the
+// offline log reader.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var events []trace.Event
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, pn, err := trace.DecodeEvent(line)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
+			return
+		}
+		s.mu.Lock()
+		_, known := s.parts[e.DIMM]
+		s.mu.Unlock()
+		if !known {
+			part, err := platform.PartByNumber(pn)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
+				return
+			}
+			s.RegisterDIMM(e.DIMM, part)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	res, err := s.IngestTick(events)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if err == ErrNotReady {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(res.Alarms), Pending: res.Pending})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Flush()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(res.Alarms), Pending: res.Pending})
+}
+
+func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad since cursor %q", v)
+			return
+		}
+		since = n
+	}
+	alarms, next := s.AlarmsSince(since)
+	writeJSON(w, http.StatusOK, AlarmsResponse{Alarms: toWireSlice(alarms), Next: next})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var out []ModelInfo
+	for _, v := range s.pipe.Registry.List() {
+		out = append(out, ModelInfo{
+			Name: v.Name, Version: v.Version,
+			Platform: string(v.Platform), Algorithm: v.Algorithm,
+			Stage: string(v.Stage), Threshold: v.Threshold,
+			F1: v.Metrics.F1, Precision: v.Metrics.Precision, Recall: v.Metrics.Recall,
+			Artifact: len(v.Artifact),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string][]ModelInfo{"models": out})
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = s.pipe.ModelName
+	}
+	if err := s.pipe.Registry.Promote(req.Name, req.Version); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochResponse{Epoch: s.pipe.Registry.Epoch(), Version: req.Version})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	var req RollbackRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = s.pipe.ModelName
+	}
+	v, err := s.pipe.Registry.Rollback(req.Name)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochResponse{Epoch: s.pipe.Registry.Epoch(), Version: v.Version})
+}
+
+// handleArtifact serves a model version's serialized envelope. A
+// version-pinned request (?version=N) is immutable and carries a stable
+// ETag; a production request is cache-busted by the promotion epoch, so
+// nodes polling with If-None-Match pull exactly when a promotion lands.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = s.pipe.ModelName
+	}
+	var (
+		etag string
+		verQ = r.URL.Query().Get("version")
+	)
+	var mv *modelVersionRef
+	if verQ != "" {
+		vn, err := strconv.Atoi(verQ)
+		if err != nil || vn <= 0 {
+			httpError(w, http.StatusBadRequest, "bad version %q", verQ)
+			return
+		}
+		for _, v := range s.pipe.Registry.List() {
+			if v.Name == name && v.Version == vn {
+				mv = &modelVersionRef{v.Version, v.Algorithm, string(v.Platform), v.Threshold, v.Artifact}
+				break
+			}
+		}
+		if mv == nil {
+			httpError(w, http.StatusNotFound, "model %s v%s not found", name, verQ)
+			return
+		}
+		etag = fmt.Sprintf("%q", fmt.Sprintf("%s-v%d", name, mv.version))
+	} else {
+		epoch := s.pipe.Registry.Epoch()
+		v, err := s.pipe.Registry.Production(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		mv = &modelVersionRef{v.Version, v.Algorithm, string(v.Platform), v.Threshold, v.Artifact}
+		etag = fmt.Sprintf("%q", fmt.Sprintf("%s-v%d-e%d", name, mv.version, epoch))
+	}
+	if len(mv.artifact) == 0 {
+		httpError(w, http.StatusNotFound, "model %s v%d has no serialized artifact (closure-backed)", name, mv.version)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderModelName, name)
+	w.Header().Set(HeaderModelVersion, strconv.Itoa(mv.version))
+	w.Header().Set(HeaderAlgorithm, mv.algorithm)
+	w.Header().Set(HeaderPlatform, mv.platform)
+	w.Header().Set(HeaderThreshold, strconv.FormatFloat(mv.threshold, 'x', -1, 64))
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.pipe.Registry.Epoch(), 10))
+	w.Write(mv.artifact)
+}
+
+// modelVersionRef is the artifact handler's view of one version.
+type modelVersionRef struct {
+	version   int
+	algorithm string
+	platform  string
+	threshold float64
+	artifact  []byte
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	s.Pause()
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": true})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Resume()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(res.Alarms), Pending: res.Pending})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, code, err := s.join(req)
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, code, err := s.heartbeat(req)
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

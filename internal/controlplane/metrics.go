@@ -1,0 +1,246 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"memfp/internal/mlops"
+	"memfp/internal/trace"
+)
+
+// Hand-rolled Prometheus text exposition (format 0.0.4) — the repo is
+// stdlib-only, and the format is simple enough that a writer beats a
+// dependency.
+
+type promWriter struct{ sb strings.Builder }
+
+// family emits the # HELP / # TYPE preamble for a metric family. Callers
+// group all samples of a family immediately after its preamble.
+func (p *promWriter) family(name, typ, help string) {
+	fmt.Fprintf(&p.sb, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&p.sb, "# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one sample line. Labels are ordered pairs.
+func (p *promWriter) sample(name string, labels [][2]string, v float64) {
+	p.sb.WriteString(name)
+	if len(labels) > 0 {
+		p.sb.WriteByte('{')
+		for i, kv := range labels {
+			if i > 0 {
+				p.sb.WriteByte(',')
+			}
+			fmt.Fprintf(&p.sb, "%s=%q", kv[0], escapeLabel(kv[1]))
+		}
+		p.sb.WriteByte('}')
+	}
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(promVal(v))
+	p.sb.WriteByte('\n')
+}
+
+// escapeLabel applies the exposition format's label-value escapes. %q in
+// sample adds the surrounding quotes and escapes \ and " already, so only
+// newlines need mapping to the two-character sequence.
+func escapeLabel(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promVal renders a sample value: shortest float representation, with
+// the spec's spellings for the non-finite values.
+func promVal(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeCommonMetrics emits the monitor-backed families shared by the
+// control plane and the node daemons: ingest counters, predictions and
+// score drift, alarm-outcome feedback, serving-memory telemetry, and the
+// per-shard queue/latency series. predictions, psi and alarms are passed
+// in because the control plane aggregates them across nodes before the
+// write.
+func writeCommonMetrics(p *promWriter, mon *mlops.Monitor, predictions int64, psi float64, alarms int64, ms mlops.MemoryStats) {
+	p.family("memfp_events_ingested_total", "counter", "Memory events ingested, by event type.")
+	for _, t := range []trace.EventType{trace.TypeCE, trace.TypeUE, trace.TypeStorm} {
+		p.sample("memfp_events_ingested_total", [][2]string{{"type", t.String()}}, float64(mon.EventCount(t)))
+	}
+
+	p.family("memfp_predictions_total", "counter", "Model invocations across the fleet.")
+	p.sample("memfp_predictions_total", nil, float64(predictions))
+
+	p.family("memfp_alarms_total", "counter", "Alarms emitted on the merged stream.")
+	p.sample("memfp_alarms_total", nil, float64(alarms))
+
+	p.family("memfp_drift_psi", "gauge", "Population stability index of live scores vs the training reference.")
+	p.sample("memfp_drift_psi", nil, psi)
+
+	tp, fp, fn := mon.FeedbackCounts()
+	p.family("memfp_feedback_total", "counter", "Resolved alarm outcomes, by outcome.")
+	p.sample("memfp_feedback_total", [][2]string{{"outcome", "tp"}}, float64(tp))
+	p.sample("memfp_feedback_total", [][2]string{{"outcome", "fp"}}, float64(fp))
+	p.sample("memfp_feedback_total", [][2]string{{"outcome", "fn"}}, float64(fn))
+
+	prec, rec := mon.LivePrecisionRecall()
+	p.family("memfp_live_precision", "gauge", "Feedback-derived live precision.")
+	p.sample("memfp_live_precision", nil, prec)
+	p.family("memfp_live_recall", "gauge", "Feedback-derived live recall.")
+	p.sample("memfp_live_recall", nil, rec)
+
+	p.family("memfp_memory_resident_bytes", "gauge", "Resident serving-state footprint.")
+	p.sample("memfp_memory_resident_bytes", nil, float64(ms.ResidentBytes))
+	p.family("memfp_memory_evictions_total", "counter", "Idle-DIMM serving-state evictions.")
+	p.sample("memfp_memory_evictions_total", nil, float64(ms.Evictions))
+	p.family("memfp_memory_rehydrations_total", "counter", "Frozen-DIMM serving-state rehydrations.")
+	p.sample("memfp_memory_rehydrations_total", nil, float64(ms.Rehydrations))
+	p.family("memfp_memory_compactions_total", "counter", "Serving-log compactions.")
+	p.sample("memfp_memory_compactions_total", nil, float64(ms.Compactions))
+	p.family("memfp_memory_compacted_events_total", "counter", "Events dropped by serving-log compaction.")
+	p.sample("memfp_memory_compacted_events_total", nil, float64(ms.CompactedEvents))
+
+	shards := mon.ShardStats()
+	p.family("memfp_shard_queue_depth", "gauge", "Events queued on a serving shard at tick start.")
+	for _, ss := range shards {
+		p.sample("memfp_shard_queue_depth", [][2]string{{"shard", strconv.Itoa(ss.Shard)}}, float64(ss.QueueDepth))
+	}
+	p.family("memfp_shard_ingest_latency_seconds", "summary", "Serving-tick wall-clock latency per shard.")
+	for _, ss := range shards {
+		sh := strconv.Itoa(ss.Shard)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			p.sample("memfp_shard_ingest_latency_seconds",
+				[][2]string{{"shard", sh}, {"quantile", promVal(q)}}, ss.Quantile(q))
+		}
+		p.sample("memfp_shard_ingest_latency_seconds_sum",
+			[][2]string{{"shard", sh}}, ss.LatencySum.Seconds())
+		p.sample("memfp_shard_ingest_latency_seconds_count",
+			[][2]string{{"shard", sh}}, float64(ss.Ticks))
+	}
+}
+
+// handleMetrics is the control plane's /metrics: the common monitor
+// families with predictions, score bins and memory telemetry aggregated
+// across node heartbeats, plus registry, journal and fleet state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mon := s.pipe.Monitor
+	if mon == nil {
+		http.Error(w, "no monitor configured", http.StatusServiceUnavailable)
+		return
+	}
+	ms := s.MemoryStats() // before s.mu: takes the mutex itself
+
+	type nodeSnap struct {
+		name    string
+		alive   bool
+		beatAge float64
+		stats   NodeStats
+	}
+	s.mu.Lock()
+	ticks := s.ticks
+	alarms := int64(len(s.alarms))
+	pending := len(s.journal) - s.nextEmit
+	paused := s.paused
+	joined := len(s.nodes)
+	snaps := make([]nodeSnap, 0, joined)
+	for _, n := range s.nodes {
+		snaps = append(snaps, nodeSnap{n.name, n.alive, time.Since(n.lastBeat).Seconds(), n.stats})
+	}
+	s.mu.Unlock()
+	if s.engine != nil {
+		pending = s.engine.HeldEvents()
+		paused = s.engine.Paused()
+	}
+
+	preds := int64(mon.PredictionCount())
+	bins := mon.ScoreBins()
+	for _, n := range snaps {
+		preds += n.stats.Predictions
+		for i := range bins {
+			bins[i] += n.stats.ScoreBins[i]
+		}
+	}
+	psi := mon.PSIOf(bins)
+
+	p := &promWriter{}
+	writeCommonMetrics(p, mon, preds, psi, alarms, ms)
+
+	p.family("memfp_registry_epoch", "counter", "Model-registry promotion epoch.")
+	p.sample("memfp_registry_epoch", nil, float64(s.pipe.Registry.Epoch()))
+
+	prodByName := map[string]int{}
+	latestByName := map[string]int{}
+	for _, v := range s.pipe.Registry.List() {
+		if v.Stage == mlops.StageProduction {
+			prodByName[v.Name] = v.Version
+		}
+		if v.Version > latestByName[v.Name] {
+			latestByName[v.Name] = v.Version
+		}
+	}
+	p.family("memfp_model_production_version", "gauge", "Registry version currently serving, per model.")
+	for name, v := range prodByName {
+		p.sample("memfp_model_production_version", [][2]string{{"model", name}}, float64(v))
+	}
+	p.family("memfp_model_latest_version", "gauge", "Newest registry version, per model.")
+	for name, v := range latestByName {
+		p.sample("memfp_model_latest_version", [][2]string{{"model", name}}, float64(v))
+	}
+
+	p.family("memfp_ticks_total", "counter", "Ingest ticks accepted.")
+	p.sample("memfp_ticks_total", nil, float64(ticks))
+	p.family("memfp_ticks_pending", "gauge", "Accepted work not yet emitted (journaled ticks or held events).")
+	p.sample("memfp_ticks_pending", nil, float64(pending))
+	p.family("memfp_paused", "gauge", "1 while serving is inside a maintenance window.")
+	p.sample("memfp_paused", nil, b2f(paused))
+
+	p.family("memfp_nodes_expected", "gauge", "Node daemons the fleet is partitioned across.")
+	p.sample("memfp_nodes_expected", nil, float64(s.cfg.ExpectNodes))
+	p.family("memfp_nodes_joined", "gauge", "Node daemons currently registered.")
+	p.sample("memfp_nodes_joined", nil, float64(joined))
+
+	if len(snaps) > 0 {
+		p.family("memfp_node_up", "gauge", "1 while the node's last forward/heartbeat succeeded.")
+		for _, n := range snaps {
+			p.sample("memfp_node_up", [][2]string{{"node", n.name}}, b2f(n.alive))
+		}
+		p.family("memfp_node_heartbeat_age_seconds", "gauge", "Seconds since the node's last heartbeat.")
+		for _, n := range snaps {
+			p.sample("memfp_node_heartbeat_age_seconds", [][2]string{{"node", n.name}}, n.beatAge)
+		}
+		p.family("memfp_node_events_total", "counter", "Events ingested by each node engine.")
+		for _, n := range snaps {
+			p.sample("memfp_node_events_total", [][2]string{{"node", n.name}}, float64(n.stats.Events))
+		}
+		p.family("memfp_node_predictions_total", "counter", "Model invocations on each node.")
+		for _, n := range snaps {
+			p.sample("memfp_node_predictions_total", [][2]string{{"node", n.name}}, float64(n.stats.Predictions))
+		}
+		p.family("memfp_node_alarms_total", "counter", "Alarms raised by each node engine.")
+		for _, n := range snaps {
+			p.sample("memfp_node_alarms_total", [][2]string{{"node", n.name}}, float64(n.stats.Alarms))
+		}
+		p.family("memfp_node_resident_bytes", "gauge", "Resident serving-state footprint per node.")
+		for _, n := range snaps {
+			p.sample("memfp_node_resident_bytes", [][2]string{{"node", n.name}}, float64(n.stats.ResidentBytes))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.sb.String())
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

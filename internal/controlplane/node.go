@@ -1,0 +1,316 @@
+package controlplane
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"memfp/internal/eval"
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// Node is one data-plane daemon: it joins a control plane, receives a
+// deterministic hash-slot range, runs a real sharded serving engine over
+// its slice of the fleet, and streams alarms back on each forwarded tick.
+//
+// The node is deliberately stateless across restarts — JoinOnce rebuilds
+// the engine, registry mirror and tick cursor from scratch, and the
+// control plane's journal replay reconstructs serving state exactly.
+type Node struct {
+	// Name identifies the node to the control plane; rejoining with the
+	// same name after a restart resumes the node's slot assignment.
+	Name string
+	// Shards is the local engine's shard count (<= 0: one per CPU). Any
+	// value yields the identical alarm stream.
+	Shards int
+
+	client *Client
+	mux    *http.ServeMux
+
+	mu         sync.Mutex
+	monitor    *mlops.Monitor
+	reg        *mlops.Registry
+	engine     *mlops.Server
+	modelName  string
+	curVersion int
+	seen       map[trace.DIMMID]bool
+	served     map[int][]mlops.Alarm // tick index -> alarms already returned
+	lastTick   int
+}
+
+// NewNode builds a node daemon for one control plane.
+func NewNode(name, controlPlaneURL string) *Node {
+	n := &Node{Name: name, client: NewClient(controlPlaneURL), lastTick: -1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", n.handleIngest)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	n.mux = mux
+	return n
+}
+
+// Handler returns the node's HTTP surface (/ingest, /metrics, /healthz).
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// JoinOnce registers with the control plane (selfURL is the base URL the
+// control plane forwards ticks to) and builds a fresh serving engine with
+// the returned parameters — mirroring the single-process engine exactly.
+func (n *Node) JoinOnce(selfURL string) error {
+	resp, err := n.client.Join(JoinRequest{Name: n.Name, Addr: selfURL})
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.monitor = mlops.NewMonitor()
+	n.reg = mlops.NewRegistry()
+	n.modelName = resp.Model
+	n.engine = mlops.NewShardedServer(platform.ID(resp.Platform), mlops.NewFeatureStore(), n.reg, resp.Model, n.monitor, n.Shards)
+	n.engine.PredictEvery = trace.Minutes(resp.PredictEvery)
+	n.engine.Cooldown = trace.Minutes(resp.Cooldown)
+	n.engine.MicroBatch = resp.MicroBatch
+	n.engine.MemoryBudget = resp.MemoryBudget
+	n.curVersion = 0
+	n.seen = map[trace.DIMMID]bool{}
+	n.served = map[int][]mlops.Alarm{}
+	n.lastTick = -1
+	if resp.Version > 0 {
+		if err := n.ensureVersionLocked(resp.Version); err != nil {
+			return fmt.Errorf("warm artifact pull: %w", err)
+		}
+	}
+	return nil
+}
+
+// ensureVersion pins the node's production model to a registry version,
+// pulling the artifact from the control plane if it is new here.
+func (n *Node) ensureVersion(v int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ensureVersionLocked(v)
+}
+
+// ensureVersionLocked makes version v the locally-served production
+// model. A version already mirrored (including an archived one — journal
+// replay can pin an older version than the current promotion) is
+// re-promoted; an unknown one is pulled as the versioned envelope and
+// imported at its control-plane version number, so throttle/cooldown
+// replay scores history under the historically-correct model.
+func (n *Node) ensureVersionLocked(v int) error {
+	if n.reg == nil {
+		return errors.New("controlplane: node has not joined")
+	}
+	if v <= 0 || v == n.curVersion {
+		return nil
+	}
+	if err := n.reg.Promote(n.modelName, v); err == nil {
+		n.curVersion = v
+		return nil
+	}
+	art, err := n.client.Artifact(n.modelName, v, "")
+	if err != nil {
+		return fmt.Errorf("pull artifact %s v%d: %w", n.modelName, v, err)
+	}
+	if _, err := n.reg.ImportVersion(n.modelName, v, platform.ID(art.Platform), art.Algorithm, art.Data, eval.Metrics{}, art.Threshold); err != nil {
+		return fmt.Errorf("import artifact %s v%d: %w", n.modelName, v, err)
+	}
+	if err := n.reg.Promote(n.modelName, v); err != nil {
+		return err
+	}
+	n.curVersion = v
+	return nil
+}
+
+// handleIngest serves one forwarded tick: pin the tick's model version,
+// ingest the batch through the real engine, and return the alarms. The
+// journal index on the wire makes delivery idempotent — a tick this node
+// already served replays its recorded response instead of re-ingesting.
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tick, err := strconv.Atoi(r.Header.Get(HeaderTick))
+	if err != nil || tick < 0 {
+		httpError(w, http.StatusBadRequest, "bad %s header %q", HeaderTick, r.Header.Get(HeaderTick))
+		return
+	}
+	version, err := strconv.Atoi(r.Header.Get(HeaderModelVersion))
+	if err != nil || version <= 0 {
+		httpError(w, http.StatusBadRequest, "bad %s header %q", HeaderModelVersion, r.Header.Get(HeaderModelVersion))
+		return
+	}
+
+	var events []trace.Event
+	var parts []string
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, pn, err := trace.DecodeEvent(line)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		events = append(events, e)
+		parts = append(parts, pn)
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.engine == nil {
+		httpError(w, http.StatusServiceUnavailable, "node has not joined a control plane")
+		return
+	}
+	if tick <= n.lastTick {
+		writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(n.served[tick])})
+		return
+	}
+	if err := n.ensureVersionLocked(version); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for i, e := range events {
+		if !n.seen[e.DIMM] {
+			part, err := platform.PartByNumber(parts[i])
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			n.engine.RegisterDIMM(e.DIMM, part)
+			n.seen[e.DIMM] = true
+		}
+	}
+	alarms, err := n.engine.IngestBatch(events)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	n.served[tick] = alarms
+	n.lastTick = tick
+	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(alarms)})
+}
+
+// handleMetrics is the node's Prometheus endpoint: the common monitor
+// families for this node's slice of the fleet.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	mon, engine := n.monitor, n.engine
+	n.mu.Unlock()
+	if mon == nil || engine == nil {
+		http.Error(w, "node has not joined a control plane", http.StatusServiceUnavailable)
+		return
+	}
+	p := &promWriter{}
+	writeCommonMetrics(p, mon, int64(mon.PredictionCount()), mon.PSI(), int64(mon.AlarmCount()), engine.MemoryStats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.sb.String())
+}
+
+// Stats snapshots the heartbeat telemetry.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	mon, engine := n.monitor, n.engine
+	n.mu.Unlock()
+	if mon == nil {
+		return NodeStats{}
+	}
+	st := NodeStats{
+		Events: int64(mon.EventCount(trace.TypeCE) + mon.EventCount(trace.TypeUE) +
+			mon.EventCount(trace.TypeStorm)),
+		Predictions: int64(mon.PredictionCount()),
+		Alarms:      int64(mon.AlarmCount()),
+		ScoreBins:   mon.ScoreBins(),
+	}
+	if engine != nil {
+		ms := engine.MemoryStats()
+		st.ResidentBytes = ms.ResidentBytes
+		st.Evictions = ms.Evictions
+		st.Rehydrations = ms.Rehydrations
+		st.Compactions = ms.Compactions
+		st.CompactedEvents = ms.CompactedEvents
+	}
+	return st
+}
+
+// Dashboard renders the node monitor's text summary.
+func (n *Node) Dashboard() string {
+	n.mu.Lock()
+	mon := n.monitor
+	n.mu.Unlock()
+	if mon == nil {
+		return "(not joined)\n"
+	}
+	return mon.Dashboard()
+}
+
+// Run serves the node's HTTP surface on addr, joins the control plane
+// (retrying until it answers), and heartbeats every interval — pulling a
+// newly promoted artifact whenever the heartbeat reports a version bump.
+// Run blocks until ctx is canceled, then shuts the listener down
+// gracefully and returns nil.
+func (n *Node) Run(ctx context.Context, addr string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	selfURL := "http://" + ln.Addr().String()
+	srv := &http.Server{Handler: n.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Join, retrying while the control plane comes up.
+	for {
+		if err := n.JoinOnce(selfURL); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			srv.Shutdown(context.Background())
+			return nil
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+
+	beat := time.NewTicker(interval)
+	defer beat.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(shCtx)
+			return nil
+		case err := <-serveErr:
+			if err != nil && err != http.ErrServerClosed {
+				return err
+			}
+			return nil
+		case <-beat.C:
+			resp, err := n.client.Heartbeat(HeartbeatRequest{Name: n.Name, Stats: n.Stats()})
+			if err != nil {
+				continue // control plane restarting or unreachable; keep beating
+			}
+			if resp.Version > 0 {
+				n.ensureVersion(resp.Version)
+			}
+		}
+	}
+}

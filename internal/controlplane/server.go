@@ -1,0 +1,584 @@
+// Package controlplane turns the single-process mlops pipeline into a
+// small distributed serving system, modeled on the paper's Figure 6
+// deployment loop: one control-plane process owns the data pipeline,
+// model registry and monitoring, and N node daemons each own a
+// deterministic slice of the fleet's DIMMs.
+//
+// The control plane exposes an HTTP API (stdlib net/http only) to ingest
+// event batches as BMC text log lines, query the emitted alarm stream,
+// list/promote/rollback registry models — artifacts served as the
+// versioned model envelope, cache-busted by the registry's promotion
+// epoch — pause/resume serving, and a hand-rolled Prometheus
+// text-exposition /metrics endpoint.
+//
+// Distribution preserves the repo's core invariant: N node daemons
+// replay a fleet to the byte-identical alarm stream of the single-process
+// engine, surviving a node restart mid-stream. Three mechanisms carry
+// that guarantee:
+//
+//   - Deterministic partition: DIMMs hash onto Slots hash slots with the
+//     serving engine's own FNV-1a function (mlops.DIMMShard); node i of N
+//     owns the contiguous slot range [i·S/N, (i+1)·S/N). Per-DIMM serving
+//     state is independent, so any partition emits the same alarms.
+//   - Tick journal: every ingested batch is appended to a journal with
+//     the production model version pinned at append time. Delivery to
+//     each node is cursor-based and idempotent (journal index on the
+//     wire); a tick's alarms are emitted — merged in (Time, DIMM) order —
+//     only when every owning node has served it, strictly in journal
+//     order. A dead node stalls emission but never reorders it.
+//   - Catch-up replay: a rejoining node (same name, fresh state) has its
+//     cursor reset and the full journal re-delivered, each tick pinned to
+//     its historical model version, so throttle/cooldown state rebuilds
+//     exactly; alarms from already-emitted ticks are discarded as
+//     duplicates.
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// ErrNotReady reports an ingest attempted before every expected node
+// daemon has joined.
+var ErrNotReady = errors.New("controlplane: waiting for node daemons to join")
+
+// Config assembles a control-plane server around a pipeline.
+type Config struct {
+	// Pipeline supplies the platform, feature store, registry, monitor
+	// and model name. Required.
+	Pipeline *mlops.Pipeline
+	// ExpectNodes is the node-daemon count the fleet is partitioned
+	// across; 0 serves in-process through the pipeline's own sharded
+	// engine (no daemons, same HTTP API).
+	ExpectNodes int
+	// Slots is the hash-slot count DIMMs partition into before slots map
+	// onto nodes (default 64). Fixed for the lifetime of the fleet.
+	Slots int
+	// Timeout bounds each forwarded node request (default 10s).
+	Timeout time.Duration
+}
+
+// tickRec is one journaled ingest batch.
+type tickRec struct {
+	slices  [][]trace.Event // per node index
+	res     [][]mlops.Alarm // per node index, until emitted
+	served  []bool          // per node index
+	version int             // production model version pinned at append
+	done    bool            // alarms emitted
+}
+
+// nodeRec is one registered node daemon.
+type nodeRec struct {
+	name     string
+	addr     string
+	index    int
+	sent     int // next journal index to deliver
+	alive    bool
+	lastBeat time.Time
+	lastErr  error
+	stats    NodeStats
+}
+
+// Server is the control plane. One ingest driver at a time: IngestTick,
+// Flush and Resume serialize on the server mutex and hold it across node
+// round-trips; the query/registry/join endpoints stay responsive because
+// they either skip that mutex or only touch it briefly.
+type Server struct {
+	cfg    Config
+	pipe   *mlops.Pipeline
+	engine *mlops.Server // local serving engine (ExpectNodes == 0)
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	parts    map[trace.DIMMID]platform.DIMMPart
+	nodes    []*nodeRec
+	byName   map[string]*nodeRec
+	journal  []*tickRec
+	nextEmit int // journal index of the next unemitted tick
+	ticks    int
+	started  bool // first distributed tick journaled; topology frozen
+	paused   bool // distributed-mode pause (local mode delegates to engine)
+	alarms   []mlops.Alarm
+}
+
+// New builds a control-plane server. With cfg.ExpectNodes == 0 it serves
+// locally through the pipeline's sharded engine; otherwise ingest blocks
+// (ErrNotReady) until every node daemon has joined.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pipeline == nil {
+		return nil, errors.New("controlplane: Config.Pipeline is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 64
+	}
+	if cfg.ExpectNodes > cfg.Slots {
+		return nil, fmt.Errorf("controlplane: %d nodes exceed %d hash slots", cfg.ExpectNodes, cfg.Slots)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		pipe:   cfg.Pipeline,
+		client: &http.Client{Timeout: cfg.Timeout},
+		parts:  map[trace.DIMMID]platform.DIMMPart{},
+		byName: map[string]*nodeRec{},
+	}
+	if cfg.ExpectNodes == 0 {
+		s.engine = cfg.Pipeline.NewServer()
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP API (the /api/v1 tree plus /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pipeline returns the wrapped pipeline.
+func (s *Server) Pipeline() *mlops.Pipeline { return s.pipe }
+
+// RegisterDIMM announces a DIMM's static attributes before its events
+// can be served — the control plane records the part for wire encoding
+// and, in local mode, registers it with the engine. Nodes learn DIMMs
+// from the part numbers on forwarded log lines.
+func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
+	s.mu.Lock()
+	s.parts[id] = part
+	s.mu.Unlock()
+	if s.engine != nil {
+		s.engine.RegisterDIMM(id, part)
+	}
+}
+
+// Ready reports whether ingest can proceed (local mode is always ready).
+func (s *Server) Ready() bool {
+	if s.engine != nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes) >= s.cfg.ExpectNodes
+}
+
+// Paused reports whether serving is inside a maintenance window.
+func (s *Server) Paused() bool {
+	if s.engine != nil {
+		return s.engine.Paused()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// TickResult is one IngestTick/Flush/Resume outcome: the alarms whose
+// emission this call completed (in stream order) and how much accepted
+// work is still unserved — journaled ticks awaiting a node in
+// distributed mode, held events during a local maintenance window.
+type TickResult struct {
+	Alarms  []mlops.Alarm
+	Pending int
+}
+
+// IngestTick accepts one event micro-batch — the serving tick. In local
+// mode it is mlops.Server.IngestBatch behind the control-plane bookkeeping;
+// in distributed mode the batch is journaled with the current production
+// model version and delivered to the owning nodes, and every tick whose
+// owners have all responded emits its merged alarms in journal order.
+// A dead node leaves ticks pending (no error); they emit after the node
+// rejoins and a later tick or Flush re-drives delivery.
+func (s *Server) IngestTick(events []trace.Event) (TickResult, error) {
+	if s.engine != nil {
+		alarms, err := s.engine.IngestBatch(events)
+		s.mu.Lock()
+		s.ticks++
+		s.alarms = append(s.alarms, alarms...)
+		s.mu.Unlock()
+		return TickResult{Alarms: alarms, Pending: s.engine.HeldEvents()}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.nodes) < s.cfg.ExpectNodes {
+		return TickResult{}, ErrNotReady
+	}
+	for _, e := range events {
+		if _, ok := s.parts[e.DIMM]; !ok {
+			return TickResult{}, fmt.Errorf("controlplane: event for unregistered DIMM %s", e.DIMM)
+		}
+	}
+	pv, err := s.pipe.Registry.Production(s.pipe.ModelName)
+	if err != nil {
+		return TickResult{}, err
+	}
+	s.started = true
+	n := s.cfg.ExpectNodes
+	t := &tickRec{
+		slices:  s.partitionLocked(events),
+		res:     make([][]mlops.Alarm, n),
+		served:  make([]bool, n),
+		version: pv.Version,
+	}
+	if mon := s.pipe.Monitor; mon != nil {
+		for _, e := range events {
+			mon.CountEvent(e)
+		}
+	}
+	s.journal = append(s.journal, t)
+	s.ticks++
+	if s.paused {
+		return TickResult{Pending: len(s.journal) - s.nextEmit}, nil
+	}
+	out := s.deliverLocked()
+	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+}
+
+// Flush re-drives delivery of pending ticks (after a node rejoin)
+// without ingesting anything new.
+func (s *Server) Flush() (TickResult, error) {
+	if s.engine != nil {
+		return TickResult{Pending: s.engine.HeldEvents()}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused {
+		return TickResult{Pending: len(s.journal) - s.nextEmit}, nil
+	}
+	out := s.deliverLocked()
+	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+}
+
+// Pause opens a maintenance window: local mode holds events in the
+// engine's queue, distributed mode journals ticks without delivering.
+func (s *Server) Pause() {
+	if s.engine != nil {
+		s.engine.Pause()
+		return
+	}
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume closes the maintenance window and drains what it held.
+func (s *Server) Resume() (TickResult, error) {
+	if s.engine != nil {
+		alarms, err := s.engine.Resume()
+		s.mu.Lock()
+		s.alarms = append(s.alarms, alarms...)
+		s.mu.Unlock()
+		return TickResult{Alarms: alarms, Pending: s.engine.HeldEvents()}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = false
+	out := s.deliverLocked()
+	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+}
+
+// AlarmsSince returns the emitted alarm stream from cursor i on, plus
+// the next cursor.
+func (s *Server) AlarmsSince(i int) ([]mlops.Alarm, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i > len(s.alarms) {
+		i = len(s.alarms)
+	}
+	return append([]mlops.Alarm(nil), s.alarms[i:]...), len(s.alarms)
+}
+
+// MemoryStats merges serving-memory telemetry: the local engine's in
+// local mode, the node heartbeats' in distributed mode.
+func (s *Server) MemoryStats() mlops.MemoryStats {
+	if s.engine != nil {
+		return s.engine.MemoryStats()
+	}
+	var ms mlops.MemoryStats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.nodes {
+		ms.ResidentBytes += n.stats.ResidentBytes
+		ms.Evictions += n.stats.Evictions
+		ms.Rehydrations += n.stats.Rehydrations
+		ms.Compactions += n.stats.Compactions
+		ms.CompactedEvents += n.stats.CompactedEvents
+	}
+	return ms
+}
+
+// partitionLocked splits a batch into per-node slices through the
+// slot assignment, preserving arrival order within each node.
+func (s *Server) partitionLocked(events []trace.Event) [][]trace.Event {
+	out := make([][]trace.Event, s.cfg.ExpectNodes)
+	for _, e := range events {
+		ni := s.nodeForSlot(mlops.DIMMShard(e.DIMM, s.cfg.Slots))
+		out[ni] = append(out[ni], e)
+	}
+	return out
+}
+
+// slotRange returns node i's contiguous hash-slot range [from, to).
+func (s *Server) slotRange(i int) (from, to int) {
+	n := s.cfg.ExpectNodes
+	return i * s.cfg.Slots / n, (i + 1) * s.cfg.Slots / n
+}
+
+func (s *Server) nodeForSlot(slot int) int {
+	for i := 0; i < s.cfg.ExpectNodes; i++ {
+		if _, to := s.slotRange(i); slot < to {
+			return i
+		}
+	}
+	return s.cfg.ExpectNodes - 1
+}
+
+// deliverLocked pushes every node's unserved journal suffix in order,
+// then emits every tick that has become fully served. Node round-trips
+// happen with the server mutex held: the control plane admits one
+// ingest driver at a time by design, and no handler a node calls back
+// into (artifact pulls) takes this mutex.
+func (s *Server) deliverLocked() []mlops.Alarm {
+	for _, n := range s.nodes {
+		for n.sent < len(s.journal) {
+			t := s.journal[n.sent]
+			ev := t.slices[n.index]
+			if len(ev) > 0 {
+				alarms, err := s.forward(n, n.sent, t.version, ev)
+				if err != nil {
+					n.alive = false
+					n.lastErr = err
+					break
+				}
+				n.alive = true
+				if !t.done {
+					t.res[n.index] = alarms
+				}
+			}
+			t.served[n.index] = true
+			n.sent++
+		}
+	}
+	return s.emitLocked()
+}
+
+// emitLocked emits alarms for fully-served ticks, strictly in journal
+// order, merged (Time, DIMM) within each tick — the same total order
+// the single-process engine produces.
+func (s *Server) emitLocked() []mlops.Alarm {
+	var out []mlops.Alarm
+	for s.nextEmit < len(s.journal) {
+		t := s.journal[s.nextEmit]
+		ready := true
+		for _, sv := range t.served {
+			if !sv {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		merged := mergeAlarmSlices(t.res)
+		if mon := s.pipe.Monitor; mon != nil {
+			for _, a := range merged {
+				mon.CountAlarm(a)
+			}
+		}
+		s.alarms = append(s.alarms, merged...)
+		out = append(out, merged...)
+		t.res, t.done = nil, true
+		s.nextEmit++
+	}
+	return out
+}
+
+// mergeAlarmSlices flattens per-node alarm slices into (Time, DIMM)
+// order — total, because at most one alarm exists per (Time, DIMM).
+func mergeAlarmSlices(per [][]mlops.Alarm) []mlops.Alarm {
+	n := 0
+	for _, as := range per {
+		n += len(as)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]mlops.Alarm, 0, n)
+	for _, as := range per {
+		out = append(out, as...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].DIMM.Less(out[j].DIMM)
+	})
+	return out
+}
+
+// forward delivers one tick slice to a node as BMC text lines, pinned to
+// the tick's model version and journal index.
+func (s *Server) forward(n *nodeRec, tick, version int, events []trace.Event) ([]mlops.Alarm, error) {
+	var body bytes.Buffer
+	for _, e := range events {
+		fmt.Fprintln(&body, trace.EncodeEvent(e, s.parts[e.DIMM]))
+	}
+	req, err := http.NewRequest(http.MethodPost, n.addr+"/ingest", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set(HeaderModelVersion, strconv.Itoa(version))
+	req.Header.Set(HeaderTick, strconv.Itoa(tick))
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: node %s: %w", n.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("controlplane: node %s: %s: %s", n.name, resp.Status, bytes.TrimSpace(b))
+	}
+	var tr TickResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("controlplane: node %s: decode response: %w", n.name, err)
+	}
+	out := make([]mlops.Alarm, len(tr.Alarms))
+	for i, a := range tr.Alarms {
+		out[i] = fromWire(a)
+	}
+	return out, nil
+}
+
+// join registers (or re-registers) a node and returns its assignment.
+func (s *Server) join(req JoinRequest) (JoinResponse, int, error) {
+	if req.Name == "" || req.Addr == "" {
+		return JoinResponse{}, http.StatusBadRequest, errors.New("join requires name and addr")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.ExpectNodes == 0 {
+		return JoinResponse{}, http.StatusConflict, errors.New("control plane is serving locally; restart it with -nodes N to distribute")
+	}
+	n, ok := s.byName[req.Name]
+	if ok {
+		// Rejoin: same name, fresh node state. Reset the delivery cursor
+		// so the full journal replays — under each tick's pinned model
+		// version — rebuilding the node's serving state exactly.
+		n.addr = req.Addr
+		n.sent = 0
+		n.alive = true
+		n.lastBeat = time.Now()
+		n.lastErr = nil
+	} else {
+		if s.started {
+			return JoinResponse{}, http.StatusConflict,
+				fmt.Errorf("topology frozen after first tick; known nodes may rejoin by name")
+		}
+		if len(s.nodes) >= s.cfg.ExpectNodes {
+			return JoinResponse{}, http.StatusConflict,
+				fmt.Errorf("fleet already has %d nodes", s.cfg.ExpectNodes)
+		}
+		n = &nodeRec{name: req.Name, addr: req.Addr, index: len(s.nodes), alive: true, lastBeat: time.Now()}
+		s.nodes = append(s.nodes, n)
+		s.byName[req.Name] = n
+	}
+	from, to := s.slotRange(n.index)
+	resp := JoinResponse{
+		Index:    n.index,
+		Nodes:    s.cfg.ExpectNodes,
+		Slots:    s.cfg.Slots,
+		SlotFrom: from,
+		SlotTo:   to,
+		Platform: string(s.pipe.Platform),
+		Model:    s.pipe.ModelName,
+		Epoch:    s.pipe.Registry.Epoch(),
+	}
+	// Serving parameters the node engine must mirror. A throwaway local
+	// engine would drift from pipeline defaults; read them from a probe
+	// engine built the same way.
+	probe := s.pipe.NewServer()
+	resp.PredictEvery = int64(probe.PredictEvery)
+	resp.Cooldown = int64(probe.Cooldown)
+	resp.MicroBatch = probe.MicroBatch
+	resp.MemoryBudget = probe.MemoryBudget
+	if pv, err := s.pipe.Registry.Production(s.pipe.ModelName); err == nil {
+		resp.Version = pv.Version
+	}
+	return resp, http.StatusOK, nil
+}
+
+// heartbeat refreshes a node's liveness and telemetry.
+func (s *Server) heartbeat(req HeartbeatRequest) (HeartbeatResponse, int, error) {
+	s.mu.Lock()
+	n, ok := s.byName[req.Name]
+	if ok {
+		n.alive = true
+		n.lastBeat = time.Now()
+		n.stats = req.Stats
+	}
+	s.mu.Unlock()
+	if !ok {
+		return HeartbeatResponse{}, http.StatusNotFound, fmt.Errorf("unknown node %q (join first)", req.Name)
+	}
+	resp := HeartbeatResponse{Epoch: s.pipe.Registry.Epoch()}
+	if pv, err := s.pipe.Registry.Production(s.pipe.ModelName); err == nil {
+		resp.Version = pv.Version
+	}
+	return resp, http.StatusOK, nil
+}
+
+// status snapshots the control plane.
+func (s *Server) status() StatusResponse {
+	mon := s.pipe.Monitor
+	st := StatusResponse{
+		Platform:    string(s.pipe.Platform),
+		Model:       s.pipe.ModelName,
+		Mode:        "distributed",
+		Epoch:       s.pipe.Registry.Epoch(),
+		Paused:      s.Paused(),
+		ExpectNodes: s.cfg.ExpectNodes,
+	}
+	if s.engine != nil {
+		st.Mode = "local"
+	}
+	if mon != nil {
+		st.Events = int64(mon.EventCount(trace.TypeCE) + mon.EventCount(trace.TypeUE) + mon.EventCount(trace.TypeStorm))
+		st.Predictions = int64(mon.PredictionCount())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.Ticks = s.ticks
+	st.Alarms = len(s.alarms)
+	if s.engine != nil {
+		st.Pending = s.engine.HeldEvents()
+	} else {
+		st.Pending = len(s.journal) - s.nextEmit
+	}
+	for _, n := range s.nodes {
+		from, to := s.slotRange(n.index)
+		st.Nodes = append(st.Nodes, NodeInfo{
+			Name: n.name, Addr: n.addr, Index: n.index,
+			SlotFrom: from, SlotTo: to,
+			Alive:      n.alive,
+			BeatAgeSec: time.Since(n.lastBeat).Seconds(),
+			SentTicks:  n.sent,
+			Stats:      n.stats,
+		})
+		st.Predictions += n.stats.Predictions
+	}
+	return st
+}

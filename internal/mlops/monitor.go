@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memfp/internal/trace"
 )
@@ -38,6 +39,12 @@ type Monitor struct {
 	compactions     atomic.Int64
 	compactedEvents atomic.Int64
 	residentBytes   atomic.Int64
+
+	// Per-shard serving telemetry: queue depth and ingest-tick latency
+	// histograms (see ShardStats). The slice is published through an
+	// atomic pointer and grown copy-on-write under mu, so the engine's
+	// per-tick updates stay lock-free.
+	shardStats atomic.Pointer[[]*shardStat]
 
 	mu         sync.Mutex
 	refBins    [10]float64 // reference (training-time) histogram
@@ -154,14 +161,30 @@ func (m *Monitor) Alarms() []Alarm {
 	return append([]Alarm(nil), m.alarms...)
 }
 
+// ScoreBins returns a snapshot of the live score histogram — the raw
+// counts behind PSI, exported so a control plane can aggregate the
+// distributions of many serving processes before the drift check.
+func (m *Monitor) ScoreBins() [10]int64 {
+	var out [10]int64
+	for i := range m.scoreBins {
+		out[i] = m.scoreBins[i].Load()
+	}
+	return out
+}
+
 // PSI computes the population stability index between the live score
 // distribution and the reference. Values above ~0.25 conventionally
 // indicate significant drift.
-func (m *Monitor) PSI() float64 {
+func (m *Monitor) PSI() float64 { return m.PSIOf(m.ScoreBins()) }
+
+// PSIOf computes the PSI of an arbitrary live histogram against this
+// monitor's reference — the distributed-drift path, where the live bins
+// are the sum of every node's ScoreBins.
+func (m *Monitor) PSIOf(liveBins [10]int64) float64 {
 	var bins [10]float64
 	live := 0.0
-	for i := range m.scoreBins {
-		bins[i] = float64(m.scoreBins[i].Load())
+	for i, c := range liveBins {
+		bins[i] = float64(c)
 		live += bins[i]
 	}
 	m.mu.Lock()
@@ -187,6 +210,13 @@ func (m *Monitor) Feedback(tp, fp, fn int) {
 	m.resolvedTP += tp
 	m.resolvedFP += fp
 	m.missedFN += fn
+}
+
+// FeedbackCounts returns the resolved alarm outcomes (TP, FP, FN).
+func (m *Monitor) FeedbackCounts() (tp, fp, fn int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resolvedTP, m.resolvedFP, m.missedFN
 }
 
 // LivePrecisionRecall returns the feedback-derived operating point.
@@ -232,6 +262,154 @@ func (m *Monitor) ShouldRetrain(psiThreshold, minPrecision float64) RetrainDecis
 	return RetrainDecision{Retrain: false, PSI: psi, Reason: "healthy"}
 }
 
+// ---------------------------------------------------------------------------
+// Per-shard serving telemetry
+// ---------------------------------------------------------------------------
+
+// latencyBuckets is the ingest-latency histogram resolution: bucket i
+// covers durations up to 1µs·2^i, the last bucket is unbounded. 22
+// buckets span 1µs .. ~2.1s, enough for a serving tick on any machine.
+const latencyBuckets = 22
+
+// LatencyBucketBounds returns the histogram's inclusive upper bounds in
+// seconds; the final bound is +Inf.
+func LatencyBucketBounds() []float64 {
+	out := make([]float64, latencyBuckets)
+	for i := 0; i < latencyBuckets-1; i++ {
+		out[i] = 1e-6 * float64(uint64(1)<<uint(i))
+	}
+	out[latencyBuckets-1] = math.Inf(1)
+	return out
+}
+
+// shardStat is one shard's hot counters. All fields are atomics: the
+// serving engine updates them once per tick without taking any lock.
+type shardStat struct {
+	queueDepth atomic.Int64
+	ticks      atomic.Int64
+	latSumNs   atomic.Int64
+	buckets    [latencyBuckets]atomic.Int64
+}
+
+// shardAt returns the stats cell for one shard, growing the published
+// slice copy-on-write when a new shard index first reports.
+func (m *Monitor) shardAt(i int) *shardStat {
+	if i < 0 {
+		return nil
+	}
+	if sp := m.shardStats.Load(); sp != nil && i < len(*sp) {
+		return (*sp)[i]
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cur []*shardStat
+	if sp := m.shardStats.Load(); sp != nil {
+		cur = *sp
+	}
+	if i < len(cur) {
+		return cur[i]
+	}
+	grown := make([]*shardStat, i+1)
+	copy(grown, cur)
+	for j := len(cur); j <= i; j++ {
+		grown[j] = &shardStat{}
+	}
+	m.shardStats.Store(&grown)
+	return grown[i]
+}
+
+// SetShardQueueDepth records how many events are queued on one shard at
+// the start of a serving tick (0 once the tick drains). Lock-free after
+// the shard's first report.
+func (m *Monitor) SetShardQueueDepth(shard int, depth int64) {
+	if st := m.shardAt(shard); st != nil {
+		st.queueDepth.Store(depth)
+	}
+}
+
+// ObserveIngestLatency records one shard serving tick's wall-clock
+// duration into the shard's latency histogram. Lock-free after the
+// shard's first report.
+func (m *Monitor) ObserveIngestLatency(shard int, d time.Duration) {
+	st := m.shardAt(shard)
+	if st == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	st.ticks.Add(1)
+	st.latSumNs.Add(int64(d))
+	b := 0
+	for b < latencyBuckets-1 && int64(d) > int64(1000)<<uint(b) {
+		b++
+	}
+	st.buckets[b].Add(1)
+}
+
+// ShardStat is a point-in-time snapshot of one shard's serving
+// telemetry. Buckets aligns with LatencyBucketBounds.
+type ShardStat struct {
+	Shard      int
+	QueueDepth int64
+	Ticks      int64 // latency observations (serving ticks)
+	LatencySum time.Duration
+	Buckets    []int64
+}
+
+// Quantile returns the nearest-rank latency quantile in seconds (the
+// bucket upper bound containing the rank), 0 with no observations, and
+// +Inf when the rank lands in the overflow bucket.
+func (s ShardStat) Quantile(q float64) float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Ticks)))
+	if rank < 1 {
+		rank = 1
+	}
+	bounds := LatencyBucketBounds()
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// ShardStats returns a snapshot of every shard that has reported.
+func (m *Monitor) ShardStats() []ShardStat {
+	sp := m.shardStats.Load()
+	if sp == nil {
+		return nil
+	}
+	out := make([]ShardStat, len(*sp))
+	for i, st := range *sp {
+		s := ShardStat{
+			Shard:      i,
+			QueueDepth: st.queueDepth.Load(),
+			Ticks:      st.ticks.Load(),
+			LatencySum: time.Duration(st.latSumNs.Load()),
+			Buckets:    make([]int64, latencyBuckets),
+		}
+		for b := range st.buckets {
+			s.Buckets[b] = st.buckets[b].Load()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// fmtQuantile renders a quantile value for the text dashboard.
+func fmtQuantile(sec float64) string {
+	if math.IsInf(sec, 1) {
+		return "inf"
+	}
+	return time.Duration(sec * float64(time.Second)).String()
+}
+
 // Dashboard renders a text status summary (the paper's monitoring
 // dashboards, in terminal form).
 func (m *Monitor) Dashboard() string {
@@ -240,7 +418,6 @@ func (m *Monitor) Dashboard() string {
 	fmt.Fprintf(&sb, "events ingested: CE=%d UE=%d storms=%d\n",
 		m.EventCount(trace.TypeCE), m.EventCount(trace.TypeUE), m.EventCount(trace.TypeStorm))
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	fmt.Fprintf(&sb, "predictions: %d, alarms: %d\n", m.predictions.Load(), len(m.alarms))
 	fmt.Fprintf(&sb, "memory: resident=%dB evictions=%d rehydrations=%d compactions=%d (-%d events)\n",
 		m.residentBytes.Load(), m.evictions.Load(), m.rehydrations.Load(),
@@ -248,5 +425,11 @@ func (m *Monitor) Dashboard() string {
 	prec, rec := m.liveLocked()
 	fmt.Fprintf(&sb, "feedback: TP=%d FP=%d FN=%d (live P=%.2f R=%.2f)\n",
 		m.resolvedTP, m.resolvedFP, m.missedFN, prec, rec)
+	m.mu.Unlock()
+	for _, ss := range m.ShardStats() {
+		fmt.Fprintf(&sb, "shard %d: queue=%d ticks=%d p50=%s p99=%s\n",
+			ss.Shard, ss.QueueDepth, ss.Ticks,
+			fmtQuantile(ss.Quantile(0.5)), fmtQuantile(ss.Quantile(0.99)))
+	}
 	return sb.String()
 }

@@ -179,6 +179,37 @@ func (r *Registry) RegisterScorer(name string, pf platform.ID, algo string,
 	return v
 }
 
+// ImportVersion inserts a version replicated from another registry —
+// the control-plane → node artifact-distribution path — preserving the
+// origin's version number so serving labels ("name-vN") and thresholds
+// match the origin byte for byte. The artifact must be a model.Load-able
+// envelope; importing a version number that already exists is an error.
+func (r *Registry) ImportVersion(name string, version int, pf platform.ID, algo string,
+	artifact []byte, metrics eval.Metrics, threshold float64) (*ModelVersion, error) {
+	if version <= 0 {
+		return nil, fmt.Errorf("mlops: import %s: version %d must be positive", name, version)
+	}
+	if len(artifact) == 0 {
+		return nil, fmt.Errorf("mlops: import %s v%d: empty artifact", name, version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.versions[name] {
+		if v.Version == version {
+			return nil, fmt.Errorf("mlops: %s v%d already registered", name, version)
+		}
+	}
+	v := &ModelVersion{
+		Name: name, Version: version, Platform: pf, Algorithm: algo,
+		Stage: StageStaging, Metrics: metrics, Threshold: threshold,
+		CreatedAt: time.Now(), Artifact: append([]byte(nil), artifact...),
+	}
+	vs := append(r.versions[name], v)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Version < vs[j].Version })
+	r.versions[name] = vs
+	return v, nil
+}
+
 // Promote moves a version to production, archiving any previous
 // production version of the same name.
 func (r *Registry) Promote(name string, version int) error {

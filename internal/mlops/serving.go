@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memfp/internal/features"
 	"memfp/internal/ml/model"
@@ -199,6 +200,17 @@ func hashDIMM(id trace.DIMMID) uint32 {
 
 func (s *Server) shardFor(id trace.DIMMID) *shard {
 	return s.shards[int(hashDIMM(id)%uint32(len(s.shards)))]
+}
+
+// DIMMShard returns the shard a DIMM maps onto in an n-way partition —
+// the exact FNV-1a assignment NewShardedServer uses, exported so
+// external distribution layers (the control plane's node-slot
+// assignment) partition a fleet identically to the engine itself.
+func DIMMShard(id trace.DIMMID, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(hashDIMM(id) % uint32(n))
 }
 
 // RegisterDIMM announces a DIMM's static attributes (from the asset
@@ -512,6 +524,14 @@ func (s *Server) ingestBatch(events []trace.Event, requeueFront bool) ([]Alarm, 
 		if len(perShard[i]) == 0 {
 			return
 		}
+		// Tick telemetry: queue depth while the shard serves, one latency
+		// observation per shard tick. Pure monitoring — the alarm path
+		// never reads it.
+		var tickStart time.Time
+		if s.monitor != nil {
+			tickStart = time.Now()
+			s.monitor.SetShardQueueDepth(i, int64(len(perShard[i])))
+		}
 		sh := s.shards[i]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -541,6 +561,10 @@ func (s *Server) ingestBatch(events []trace.Event, requeueFront bool) ([]Alarm, 
 		// be enforced now.
 		s.maybeEvict(sh, perShard[i][len(perShard[i])-1].Time)
 		alarms[i] = out
+		if s.monitor != nil {
+			s.monitor.SetShardQueueDepth(i, 0)
+			s.monitor.ObserveIngestLatency(i, time.Since(tickStart))
+		}
 	})
 	merged := mergeAlarms(alarms)
 	if s.monitor != nil {
