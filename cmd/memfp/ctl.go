@@ -21,7 +21,7 @@ func cmdCtl(args []string) error {
 		fmt.Fprintln(os.Stderr, `usage: memfp ctl [-addr URL] <action>
 
 actions:
-  status    control-plane summary (mode, ticks, pending, nodes)
+  status    control-plane summary (mode, ticks, pending, journal, nodes)
   models    list registry versions
   promote   promote -model NAME -version N to production
   rollback  restore the previously archived production version
@@ -60,9 +60,13 @@ actions:
 			st.Platform, st.Model, st.Mode, st.Epoch, st.Paused)
 		fmt.Printf("ticks=%d pending=%d alarms=%d events=%d predictions=%d\n",
 			st.Ticks, st.Pending, st.Alarms, st.Events, st.Predictions)
+		if j := st.Journal; j != nil {
+			fmt.Printf("journal depth=%d highwater=%d base=%d truncations=%d truncated=%d spill=%dB\n",
+				j.Depth, j.DepthHighWater, j.Base, j.Truncations, j.TruncatedTicks, j.SpillBytes)
+		}
 		for _, n := range st.Nodes {
-			fmt.Printf("node %-12s %-22s slots=[%d,%d) alive=%v beat=%.1fs sent=%d alarms=%d\n",
-				n.Name, n.Addr, n.SlotFrom, n.SlotTo, n.Alive, n.BeatAgeSec, n.SentTicks, n.Stats.Alarms)
+			fmt.Printf("node %-12s %-22s slots=[%d,%d) alive=%v beat=%.1fs sent=%d ckpt=%d alarms=%d\n",
+				n.Name, n.Addr, n.SlotFrom, n.SlotTo, n.Alive, n.BeatAgeSec, n.SentTicks, n.Checkpoint, n.Stats.Alarms)
 		}
 		return nil
 	case "models":

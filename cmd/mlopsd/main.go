@@ -13,12 +13,19 @@
 //	mlopsd [-platform Intel_Purley] [-scale 0.05] [-seed 42]
 //	       [-trainer LightGBM] [-shards 0] [-membudget 0]
 //	       [-addr 127.0.0.1:9090] [-nodes 0] [-alarm-log file] [-hold]
+//	       [-spill-dir dir] [-checkpoint-every 64]
+//
+// In distributed mode the control plane journals ticks, checkpoints each
+// node's serving state every -checkpoint-every emitted ticks, and
+// truncates the served journal prefix; -spill-dir persists truncated
+// segments and checkpoints on disk (default: in memory).
 //
 // Node-daemon mode serves a deterministic slice of the fleet, pulling
 // promoted model artifacts from the control plane:
 //
 //	mlopsd -node -join http://<control-plane> [-addr 127.0.0.1:0]
 //	       [-name hostname-pid] [-shards 0] [-heartbeat 2s]
+//	       [-spill-dir dir]
 //
 // Both modes shut down gracefully on SIGINT/SIGTERM: the control plane
 // drains pending work and prints the final dashboard, a node daemon
@@ -64,6 +71,8 @@ type options struct {
 	join      string
 	name      string
 	heartbeat time.Duration
+	spillDir  string
+	ckptEvery int
 }
 
 // newFlagSet declares every mlopsd flag (both modes) on a testable set.
@@ -83,6 +92,8 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.StringVar(&o.join, "join", "", "control-plane base URL a node daemon registers with")
 	fs.StringVar(&o.name, "name", "", "node daemon name (default hostname-pid); rejoin with the same name to resume")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 2*time.Second, "node heartbeat interval")
+	fs.StringVar(&o.spillDir, "spill-dir", "", "directory for truncated journal segments, checkpoints and evicted DIMM state (default: in memory)")
+	fs.IntVar(&o.ckptEvery, "checkpoint-every", 0, "checkpoint node state every N emitted ticks in distributed mode (0 = default cadence)")
 	return fs
 }
 
@@ -129,6 +140,13 @@ func runNode(ctx context.Context, o *options) error {
 	}
 	n := controlplane.NewNode(name, o.join)
 	n.Shards = o.shards
+	if o.spillDir != "" {
+		sp, err := mlops.NewDirSpill(o.spillDir)
+		if err != nil {
+			return err
+		}
+		n.Spill = sp
+	}
 	fmt.Printf("node %s serving on %s, joining %s\n", name, addr, o.join)
 	if err := n.Run(ctx, addr, o.heartbeat); err != nil {
 		return err
@@ -190,10 +208,19 @@ func runControl(ctx context.Context, o *options) error {
 	fmt.Printf("[cycle 0] trained %s v%d  promoted=%v (%s)  benchmark %s\n",
 		tr.Version.Name, tr.Version.Version, tr.Promoted, tr.Reason, tr.Benchmark)
 
-	cp, err := controlplane.New(controlplane.Config{Pipeline: pipe, ExpectNodes: o.nodes})
+	ccfg := controlplane.Config{Pipeline: pipe, ExpectNodes: o.nodes, CheckpointEvery: o.ckptEvery}
+	if o.spillDir != "" {
+		sp, err := mlops.NewDirSpill(o.spillDir)
+		if err != nil {
+			return err
+		}
+		ccfg.Spill = sp
+	}
+	cp, err := controlplane.New(ccfg)
 	if err != nil {
 		return err
 	}
+	defer cp.Close()
 	for _, l := range res.Store.DIMMs() {
 		cp.RegisterDIMM(l.ID, l.Part)
 	}
@@ -329,6 +356,11 @@ func runControl(ctx context.Context, o *options) error {
 
 	fmt.Println()
 	cp.MemoryStats() // refresh the dashboard's resident-bytes gauge
+	if o.nodes > 0 {
+		js := cp.JournalStats()
+		fmt.Printf("journal: depth=%d highwater=%d base=%d truncations=%d truncated_ticks=%d spill_bytes=%d\n",
+			js.Depth, js.DepthHighWater, js.Base, js.Truncations, js.TruncatedTicks, js.SpillBytes)
+	}
 	fmt.Print(pipe.Monitor.Dashboard())
 	fmt.Println("registry state:")
 	for _, v := range pipe.Registry.List() {

@@ -11,11 +11,13 @@ import (
 )
 
 // Wire types of the control-plane HTTP API (JSON bodies). Event batches
-// travel as BMC text log lines (trace.EncodeEvent), alarms as JSON;
-// alarm scores round-trip bit-exactly through encoding/json's
-// shortest-representation float64 codec, thresholds through hex-float
-// headers — nothing on the wire can perturb the byte-identical alarm
-// invariant.
+// travel as BMC text log lines (trace.EncodeEvent) or as binary MFE1
+// frames, alarms as JSON or binary MFA1 pages — negotiated per request
+// by Content-Type/Accept (see wire.go). JSON alarm scores round-trip
+// bit-exactly through encoding/json's shortest-representation float64
+// codec and binary ones travel as raw IEEE-754 bits; thresholds ride
+// hex-float headers — nothing on the wire can perturb the
+// byte-identical alarm invariant.
 
 // Forwarding headers (control plane → node, and artifact responses).
 const (
@@ -132,6 +134,8 @@ type NodeStats struct {
 	Rehydrations    int64     `json:"rehydrations"`
 	Compactions     int64     `json:"compactions"`
 	CompactedEvents int64     `json:"compacted_events"`
+	SpilledBytes    int64     `json:"spilled_bytes"`
+	Spills          int64     `json:"spills"`
 }
 
 // JoinRequest registers a node daemon (or re-registers one after a
@@ -158,6 +162,10 @@ type JoinResponse struct {
 	MemoryBudget int64  `json:"memory_budget"`
 	Epoch        uint64 `json:"epoch"`
 	Version      int    `json:"version"` // current production version (0 = none yet)
+	// CheckpointTick > 0 tells a rejoining node that a snapshot covering
+	// ticks [0, CheckpointTick) is stored on the control plane; the node
+	// restores it instead of replaying from zero.
+	CheckpointTick int `json:"checkpoint_tick,omitempty"`
 }
 
 // HeartbeatRequest / HeartbeatResponse keep a node registered and tell
@@ -182,23 +190,35 @@ type NodeInfo struct {
 	Alive      bool      `json:"alive"`
 	BeatAgeSec float64   `json:"beat_age_sec"`
 	SentTicks  int       `json:"sent_ticks"`
+	Checkpoint int       `json:"checkpoint"` // ticks covered by the stored snapshot
 	Stats      NodeStats `json:"stats"`
+}
+
+// JournalInfo is the distributed tick journal's lifecycle telemetry.
+type JournalInfo struct {
+	Depth          int   `json:"depth"`           // ticks resident in memory
+	DepthHighWater int   `json:"depth_highwater"` // peak resident depth
+	Base           int   `json:"base"`            // first journal index still in memory
+	Truncations    int   `json:"truncations"`
+	TruncatedTicks int   `json:"truncated_ticks"`
+	SpillBytes     int64 `json:"spill_bytes"` // checkpoint + segment bytes spilled
 }
 
 // StatusResponse summarizes the control plane.
 type StatusResponse struct {
-	Platform    string     `json:"platform"`
-	Model       string     `json:"model"`
-	Mode        string     `json:"mode"` // "local" or "distributed"
-	Epoch       uint64     `json:"epoch"`
-	Paused      bool       `json:"paused"`
-	Ticks       int        `json:"ticks"`
-	Pending     int        `json:"pending"`
-	Alarms      int        `json:"alarms"`
-	Events      int64      `json:"events"`
-	Predictions int64      `json:"predictions"`
-	ExpectNodes int        `json:"expect_nodes"`
-	Nodes       []NodeInfo `json:"nodes,omitempty"`
+	Platform    string       `json:"platform"`
+	Model       string       `json:"model"`
+	Mode        string       `json:"mode"` // "local" or "distributed"
+	Epoch       uint64       `json:"epoch"`
+	Paused      bool         `json:"paused"`
+	Ticks       int          `json:"ticks"`
+	Pending     int          `json:"pending"`
+	Alarms      int          `json:"alarms"`
+	Events      int64        `json:"events"`
+	Predictions int64        `json:"predictions"`
+	ExpectNodes int          `json:"expect_nodes"`
+	Nodes       []NodeInfo   `json:"nodes,omitempty"`
+	Journal     *JournalInfo `json:"journal,omitempty"` // distributed mode only
 }
 
 // errorJSON is every non-2xx body.

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"memfp/internal/eval"
 	"memfp/internal/mlops"
 	"memfp/internal/platform"
+	"memfp/internal/trace"
 )
 
 // newLocalCP builds a local-mode control plane over an always-firing
@@ -311,5 +313,81 @@ func TestAPIDistributedGating(t *testing.T) {
 	}
 	if hr, err := dcl.Heartbeat(HeartbeatRequest{Name: "n1"}); err != nil || hr.Version != 1 {
 		t.Errorf("heartbeat = %+v, %v", hr, err)
+	}
+}
+
+// TestAPIBinaryIngest drives the same fleet prefix through two identical
+// local control planes — one over BMC text lines, one over MFE1 binary
+// frames with binary MFA1 alarm responses — and requires identical alarm
+// streams and pending counts from both wires.
+func TestAPIBinaryIngest(t *testing.T) {
+	f := fleet(t)
+	n := min(2000, len(f.all))
+
+	_, textCl, _ := newLocalCP(t)
+	_, binCl, _ := newLocalCP(t)
+	for lo := 0; lo < n; lo += 500 {
+		hi := min(lo+500, n)
+		tr, err := textCl.IngestLines(encodeLines(f, lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := trace.AppendEventFrame(nil, f.all[lo:hi], func(id trace.DIMMID) string {
+			return f.parts[id].PartNumber
+		})
+		br, err := binCl.IngestFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Pending != tr.Pending {
+			t.Fatalf("tick %d: binary pending %d, text pending %d", lo/500, br.Pending, tr.Pending)
+		}
+		var ta, ba []mlops.Alarm
+		for _, a := range tr.Alarms {
+			ta = append(ta, fromWire(a))
+		}
+		for _, a := range br.Alarms {
+			ba = append(ba, fromWire(a))
+		}
+		if got, want := renderAlarms(ba), renderAlarms(ta); got != want {
+			t.Fatalf("tick %d: binary wire alarms diverge from text wire:\n%s", lo/500, firstDiff(got, want))
+		}
+	}
+
+	// Binary alarm paging agrees with the JSON page.
+	req, err := http.NewRequest(http.MethodGet, binCl.Base()+"/api/v1/alarms?since=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeAlarms)
+	resp, err := binCl.HTTP.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary alarms page: %d, %v", resp.StatusCode, err)
+	}
+	if resp.Header.Get("Content-Type") != ContentTypeAlarms {
+		t.Errorf("binary alarms content type %q", resp.Header.Get("Content-Type"))
+	}
+	binPage, err := DecodeAlarmFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPage, err := binCl.Alarms(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next, _ := strconv.Atoi(resp.Header.Get(HeaderNext)); next != jsonPage.Next {
+		t.Errorf("binary page next cursor %d, JSON %d", next, jsonPage.Next)
+	}
+	var jp []mlops.Alarm
+	for _, a := range jsonPage.Alarms {
+		jp = append(jp, fromWire(a))
+	}
+	if got, want := renderAlarms(binPage), renderAlarms(jp); got != want {
+		t.Errorf("binary alarm page diverges from JSON page:\n%s", firstDiff(got, want))
 	}
 }

@@ -2,15 +2,19 @@ package controlplane
 
 import (
 	"net/http/httptest"
+	"runtime"
 	"testing"
+
+	"memfp/internal/trace"
 )
 
-// The PR's headline cost question: what does the HTTP control plane add
-// over calling the engine in-process? Both benchmarks replay the same
-// event prefix in 1024-event ticks against the always-fire closure model
-// on a fresh engine per iteration; the delta is transport + codec.
+// The PR's headline cost questions: what does the HTTP control plane add
+// over calling the engine in-process, how much of that is codec vs
+// transport, and does distributing across node daemons keep up? All
+// server benchmarks replay the same event prefix in 2048-event ticks
+// against the always-fire closure model on a fresh engine per iteration.
 
-const benchTick = 1024
+const benchTick = 2048
 
 func BenchmarkInProcessIngest(b *testing.B) {
 	f := fleet(b)
@@ -33,15 +37,44 @@ func BenchmarkInProcessIngest(b *testing.B) {
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkControlPlaneIngest is the binary wire end to end: encode each
+// tick as an MFE1 frame, POST it, decode the MFA1 alarm page that comes
+// back — the full client round trip a BMC forwarder pays per tick.
 func BenchmarkControlPlaneIngest(b *testing.B) {
 	f := fleet(b)
 	n := min(8*benchTick, len(f.all))
-	// Pre-encode the tick bodies once; the benchmark measures the server
-	// side (HTTP + line decode + engine), not the client's encoder.
-	var bodies []string
-	for lo := 0; lo < n; lo += benchTick {
-		bodies = append(bodies, encodeLines(f, lo, min(lo+benchTick, n)))
+	partOf := func(id trace.DIMMID) string { return f.parts[id].PartNumber }
+	b.ResetTimer()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp, err := New(Config{Pipeline: closurePipeline(b)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(cp.Handler())
+		cl := NewClient(ts.URL)
+		runtime.GC() // collect setup garbage outside the timed region
+		b.StartTimer()
+		for lo := 0; lo < n; lo += benchTick {
+			buf = trace.AppendEventFrame(buf[:0], f.all[lo:min(lo+benchTick, n)], partOf)
+			if _, err := cl.IngestFrame(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ts.Close()
+		b.StartTimer()
 	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkControlPlaneIngestText is the fallback text wire end to end
+// (encode BMC lines, POST, JSON alarms back) — the pre-PR-10 hot path,
+// kept for attribution.
+func BenchmarkControlPlaneIngestText(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -51,9 +84,10 @@ func BenchmarkControlPlaneIngest(b *testing.B) {
 		}
 		ts := httptest.NewServer(cp.Handler())
 		cl := NewClient(ts.URL)
+		runtime.GC() // collect setup garbage outside the timed region
 		b.StartTimer()
-		for _, body := range bodies {
-			if _, err := cl.IngestLines(body); err != nil {
+		for lo := 0; lo < n; lo += benchTick {
+			if _, err := cl.IngestLines(encodeLines(f, lo, min(lo+benchTick, n))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -62,4 +96,97 @@ func BenchmarkControlPlaneIngest(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkDistributedIngest drives the full 2-node fan-out the way
+// cmd/mlopsd does — IngestTick on the control plane, batched binary
+// delivery to two real HTTP node daemons, a closing Flush. The nodes
+// serve the cheap logistic artifact so the number measures the
+// distribution data path, not model scoring (the serializable
+// counterpart of the closure scorer the other server benchmarks use).
+func BenchmarkDistributedIngest(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp, err := New(Config{Pipeline: fastMirror(b), ExpectNodes: 2, Slots: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, part := range f.parts {
+			cp.RegisterDIMM(id, part)
+		}
+		cpSrv := httptest.NewServer(cp.Handler())
+		var nodeSrvs []*httptest.Server
+		for _, name := range []string{"n1", "n2"} {
+			nd := NewNode(name, cpSrv.URL)
+			nd.Shards = 1
+			ts := httptest.NewServer(nd.Handler())
+			if err := nd.JoinOnce(ts.URL); err != nil {
+				b.Fatal(err)
+			}
+			nodeSrvs = append(nodeSrvs, ts)
+		}
+		runtime.GC() // collect setup garbage outside the timed region
+		b.StartTimer()
+		for lo := 0; lo < n; lo += benchTick {
+			if _, err := cp.IngestTick(f.all[lo:min(lo+benchTick, n)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cp.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		cp.Close()
+		cpSrv.Close()
+		for _, ts := range nodeSrvs {
+			ts.Close()
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// The codec-only pair separates codec cost from transport: encode one
+// tick and decode it back, no HTTP, no engine. The delta against the
+// server benchmarks attributes the wire win.
+
+func BenchmarkCodecEventsText(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		for _, e := range f.all[:n] {
+			line := trace.EncodeEvent(e, f.parts[e.DIMM])
+			if _, _, err := trace.DecodeEvent(line); err != nil {
+				b.Fatal(err)
+			}
+			events++
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkCodecEventsBinary(b *testing.B) {
+	f := fleet(b)
+	n := min(8*benchTick, len(f.all))
+	partOf := func(id trace.DIMMID) string { return f.parts[id].PartNumber }
+	b.ResetTimer()
+	events := 0
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < n; lo += benchTick {
+			hi := min(lo+benchTick, n)
+			buf = trace.AppendEventFrame(buf[:0], f.all[lo:hi], partOf)
+			evs, _, err := trace.DecodeEventFrame(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += len(evs)
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

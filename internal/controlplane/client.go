@@ -92,6 +92,64 @@ func (c *Client) IngestLines(text string) (TickResponse, error) {
 	return tr, err
 }
 
+// IngestFrame posts one tick as a pre-encoded MFE1 binary event frame
+// and requests the alarms back as a binary MFA1 page — the fast path for
+// high-volume feeders.
+func (c *Client) IngestFrame(frame []byte) (TickResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+"/api/v1/ingest", bytes.NewReader(frame))
+	if err != nil {
+		return TickResponse{}, err
+	}
+	req.Header.Set("Content-Type", ContentTypeEvents)
+	req.Header.Set("Accept", ContentTypeAlarms)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return TickResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil && e.Error != "" {
+			return TickResponse{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return TickResponse{}, fmt.Errorf("%s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return TickResponse{}, err
+	}
+	alarms, err := DecodeAlarmFrame(body)
+	if err != nil {
+		return TickResponse{}, err
+	}
+	var tr TickResponse
+	tr.Alarms = toWireSlice(alarms)
+	tr.Pending, _ = strconv.Atoi(resp.Header.Get(HeaderPending))
+	return tr, nil
+}
+
+// NodeCheckpoint pulls a node's stored engine snapshot for a rejoin
+// restore.
+func (c *Client) NodeCheckpoint(name string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/api/v1/nodes/checkpoint?name="+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Flush re-drives delivery of pending work.
 func (c *Client) Flush() (TickResponse, error) {
 	var tr TickResponse

@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -10,11 +11,13 @@ import (
 )
 
 // TestDistributedByteIdenticalReplay is the PR's core invariant: two node
-// daemons replaying the fleet through the control plane emit the
-// byte-identical alarm stream of the single-process sharded engine —
+// daemons replaying the fleet through the control plane — binary tick
+// batches, pipelined fan-out, checkpointed journal truncation — emit the
+// byte-identical alarm stream of the single-process sharded engine:
 // across a mid-stream model promotion, and across one node being killed
-// mid-stream and rejoining (fresh state, same name) to catch up from the
-// journal.
+// mid-stream and rejoining (fresh state, same name) to restore its
+// checkpoint and catch up from a journal whose prefix has been
+// truncated.
 func TestDistributedByteIdenticalReplay(t *testing.T) {
 	f := fleet(t)
 	const tick = 512
@@ -55,11 +58,14 @@ func TestDistributedByteIdenticalReplay(t *testing.T) {
 	}
 
 	// Distributed: a control plane and two node daemons over real HTTP.
+	// A small window and an aggressive checkpoint cadence so the kill
+	// lands on a journal whose prefix has already been truncated.
 	distPipe := mirror(t)
-	cp, err := New(Config{Pipeline: distPipe, ExpectNodes: 2, Slots: 16})
+	cp, err := New(Config{Pipeline: distPipe, ExpectNodes: 2, Slots: 16, Window: 4, CheckpointEvery: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cp.Close)
 	for id, part := range f.parts {
 		cp.RegisterDIMM(id, part)
 	}
@@ -97,17 +103,32 @@ func TestDistributedByteIdenticalReplay(t *testing.T) {
 			}
 		}
 		if ti == killAt {
+			// Drain first so the kill lands on quiescent, deterministic
+			// state — by now several checkpoints have completed, so the
+			// journal prefix must already be truncated.
+			res, err := cp.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			distAlarms = append(distAlarms, res.Alarms...)
+			if js := cp.JournalStats(); js.Base == 0 || js.Truncations == 0 {
+				t.Errorf("journal never truncated before the kill: %+v", js)
+			}
 			ts2.Close() // node n2 dies mid-stream; its ticks go pending
 		}
 		if ti == rejoinAt {
-			// Fresh process, same name: journal replay rebuilds its serving
-			// state under each tick's pinned model version.
+			// Fresh process, same name: the node restores the checkpointed
+			// snapshot, then journal replay of the suffix rebuilds its
+			// serving state under each tick's pinned model version.
 			n2b := NewNode("n2", cpSrv.URL)
 			n2b.Shards = 2
 			ts2b := httptest.NewServer(n2b.Handler())
 			t.Cleanup(ts2b.Close)
 			if err := n2b.JoinOnce(ts2b.URL); err != nil {
 				t.Fatal(err)
+			}
+			if n2b.RestoredFrom() == 0 {
+				t.Error("rejoining node did not restore a checkpoint; it replayed from zero")
 			}
 			res, err := cp.Flush()
 			if err != nil {
@@ -140,6 +161,16 @@ func TestDistributedByteIdenticalReplay(t *testing.T) {
 	if !sawPending {
 		t.Error("killing a node never left ticks pending; the kill path was not exercised")
 	}
+	js := cp.JournalStats()
+	if js.Truncations == 0 || js.TruncatedTicks == 0 || js.Base == 0 {
+		t.Errorf("journal lifecycle never truncated: %+v", js)
+	}
+	if js.SpillBytes == 0 {
+		t.Errorf("no checkpoint/segment bytes reached the spill store: %+v", js)
+	}
+	if js.Depth >= nTicks {
+		t.Errorf("journal depth %d not bounded below the %d-tick stream", js.Depth, nTicks)
+	}
 	got, want := renderAlarms(distAlarms), renderAlarms(refAlarms)
 	if got != want {
 		t.Errorf("distributed alarm stream diverges from single-process reference:\n%s",
@@ -152,6 +183,76 @@ func TestDistributedByteIdenticalReplay(t *testing.T) {
 	}
 	if !sawV1 || !sawV2 {
 		t.Errorf("want alarms under both model versions, got v1=%v v2=%v", sawV1, sawV2)
+	}
+}
+
+// TestDistributedTextFallback pins the binary wire's escape hatch: a
+// node that answers 404 on /ingest2 (an older daemon) flips the control
+// plane to the per-tick BMC text wire, and the alarm stream still
+// matches the single-process reference — the text codec remains a full
+// equivalence oracle for the binary one.
+func TestDistributedTextFallback(t *testing.T) {
+	f := fleet(t)
+	const tick = 512
+	nTicks := 6
+	all := f.all[:min(nTicks*tick, len(f.all))]
+
+	refPipe := mirror(t)
+	ref := refPipe.NewServer()
+	for id, part := range f.parts {
+		ref.RegisterDIMM(id, part)
+	}
+	var refAlarms []mlops.Alarm
+	for lo := 0; lo < len(all); lo += tick {
+		as, err := ref.IngestBatch(all[lo:min(lo+tick, len(all))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refAlarms = append(refAlarms, as...)
+	}
+	if len(refAlarms) == 0 {
+		t.Fatal("reference replay emitted no alarms; fixture cannot discriminate")
+	}
+
+	cp, err := New(Config{Pipeline: mirror(t), ExpectNodes: 1, Slots: 8, Window: 4, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cp.Close)
+	for id, part := range f.parts {
+		cp.RegisterDIMM(id, part)
+	}
+	cpSrv := httptest.NewServer(cp.Handler())
+	t.Cleanup(cpSrv.Close)
+
+	n1 := NewNode("n1", cpSrv.URL)
+	n1.Shards = 2
+	// An "older daemon": same node, but without the batch endpoint.
+	legacy := http.NewServeMux()
+	legacy.HandleFunc("/ingest2", http.NotFound)
+	legacy.Handle("/", n1.Handler())
+	ts1 := httptest.NewServer(legacy)
+	t.Cleanup(ts1.Close)
+	if err := n1.JoinOnce(ts1.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	var distAlarms []mlops.Alarm
+	for lo := 0; lo < len(all); lo += tick {
+		res, err := cp.IngestTick(all[lo:min(lo+tick, len(all))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		distAlarms = append(distAlarms, res.Alarms...)
+	}
+	res, err := cp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distAlarms = append(distAlarms, res.Alarms...)
+
+	if got, want := renderAlarms(distAlarms), renderAlarms(refAlarms); got != want {
+		t.Errorf("text-fallback alarm stream diverges from reference:\n%s", firstDiff(got, want))
 	}
 }
 

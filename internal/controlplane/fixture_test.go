@@ -31,7 +31,14 @@ type fleetFixture struct {
 	threshold float64
 	metrics   eval.Metrics
 	valScores []float64
-	err       error
+	// A logistic artifact over the same training window: near-free to
+	// score, so benchmarks over it measure the serving data path rather
+	// than GBDT tree walks (the closure scorer's moral equivalent, but
+	// serializable — node daemons can pull it).
+	fastArtifact  []byte
+	fastThreshold float64
+	fastMetrics   eval.Metrics
+	err           error
 }
 
 var (
@@ -67,12 +74,24 @@ func fleet(tb testing.TB) *fleetFixture {
 			fix.err = fmt.Errorf("fixture model not promoted: %s", tr.Reason)
 			return
 		}
+		fastPipe := mlops.NewPipeline(platform.Purley)
+		fastPipe.Seed = 31
+		fastPipe.TrainerName = model.NameLogistic
+		ftr, err := fastPipe.TrainAndMaybePromote(res.Store, 150*trace.Day, 180*trace.Day)
+		if err != nil {
+			fix.err = err
+			return
+		}
+
 		fix.all = all
 		fix.parts = parts
 		fix.modelName = pipe.ModelName
 		fix.artifact = tr.Version.Artifact
 		fix.threshold = tr.Version.Threshold
 		fix.metrics = tr.Version.Metrics
+		fix.fastArtifact = ftr.Version.Artifact
+		fix.fastThreshold = ftr.Version.Threshold
+		fix.fastMetrics = ftr.Version.Metrics
 	})
 	if fix.err != nil {
 		tb.Fatalf("fleet fixture: %v", fix.err)
@@ -93,6 +112,22 @@ func mirror(tb testing.TB) *mlops.Pipeline {
 	}
 	if _, err := pipe.Registry.ImportVersion(pipe.ModelName, 2, platform.Purley,
 		model.NameGBDT, f.artifact, f.metrics, f.threshold/2); err != nil {
+		tb.Fatal(err)
+	}
+	if err := pipe.Registry.Promote(pipe.ModelName, 1); err != nil {
+		tb.Fatal(err)
+	}
+	return pipe
+}
+
+// fastMirror is mirror with the logistic artifact promoted as v1: real
+// envelope bytes a node can pull, near-zero scoring cost.
+func fastMirror(tb testing.TB) *mlops.Pipeline {
+	tb.Helper()
+	f := fleet(tb)
+	pipe := mlops.NewPipeline(platform.Purley)
+	if _, err := pipe.Registry.ImportVersion(pipe.ModelName, 1, platform.Purley,
+		model.NameLogistic, f.fastArtifact, f.fastMetrics, f.fastThreshold); err != nil {
 		tb.Fatal(err)
 	}
 	if err := pipe.Registry.Promote(pipe.ModelName, 1); err != nil {

@@ -3,6 +3,7 @@ package controlplane
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /api/v1/resume", s.handleResume)
 	mux.HandleFunc("POST /api/v1/nodes/join", s.handleJoin)
 	mux.HandleFunc("POST /api/v1/nodes/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("GET /api/v1/nodes/checkpoint", s.handleCheckpointBlob)
 	s.mux = mux
 }
 
@@ -38,41 +40,73 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status())
 }
 
-// handleIngest accepts a batch of BMC text log lines (one tick), auto-
-// registering DIMMs from the part numbers on the lines, exactly like the
-// offline log reader.
+// handleIngest accepts one tick of events — BMC text log lines, or one
+// MFE1 binary frame when the request Content-Type is the events type —
+// auto-registering DIMMs from the part numbers carried by either codec.
+// An Accept of the alarms content type returns the tick's alarms as a
+// binary MFA1 page (Pending rides the X-Memfp-Pending header) instead of
+// JSON.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var events []trace.Event
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		e, pn, err := trace.DecodeEvent(line)
+	var (
+		events []trace.Event
+		parts  []string
+	)
+	if r.Header.Get("Content-Type") == ContentTypeEvents {
+		body, err := io.ReadAll(r.Body)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
-		s.mu.Lock()
-		_, known := s.parts[e.DIMM]
-		s.mu.Unlock()
-		if !known {
-			part, err := platform.PartByNumber(pn)
+		events, parts, err = trace.DecodeEventFrame(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for i, e := range events {
+			s.mu.Lock()
+			_, known := s.parts[e.DIMM]
+			s.mu.Unlock()
+			if !known {
+				part, err := platform.PartByNumber(parts[i])
+				if err != nil {
+					httpError(w, http.StatusBadRequest, "event %d: %v", i, err)
+					return
+				}
+				s.RegisterDIMM(e.DIMM, part)
+			}
+		}
+	} else {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			e, pn, err := trace.DecodeEvent(line)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
 				return
 			}
-			s.RegisterDIMM(e.DIMM, part)
+			s.mu.Lock()
+			_, known := s.parts[e.DIMM]
+			s.mu.Unlock()
+			if !known {
+				part, err := platform.PartByNumber(pn)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
+					return
+				}
+				s.RegisterDIMM(e.DIMM, part)
+			}
+			events = append(events, e)
 		}
-		events = append(events, e)
-	}
-	if err := sc.Err(); err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
-		return
+		if err := sc.Err(); err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
 	}
 	res, err := s.IngestTick(events)
 	if err != nil {
@@ -81,6 +115,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusServiceUnavailable
 		}
 		httpError(w, code, "%v", err)
+		return
+	}
+	if r.Header.Get("Accept") == ContentTypeAlarms {
+		buf := getWireBuf()
+		defer putWireBuf(buf)
+		*buf = AppendAlarmFrame((*buf)[:0], res.Alarms)
+		w.Header().Set("Content-Type", ContentTypeAlarms)
+		w.Header().Set(HeaderPending, strconv.Itoa(res.Pending))
+		w.Write(*buf)
 		return
 	}
 	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(res.Alarms), Pending: res.Pending})
@@ -106,7 +149,32 @@ func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 		since = n
 	}
 	alarms, next := s.AlarmsSince(since)
+	if r.Header.Get("Accept") == ContentTypeAlarms {
+		buf := getWireBuf()
+		defer putWireBuf(buf)
+		*buf = AppendAlarmFrame((*buf)[:0], alarms)
+		w.Header().Set("Content-Type", ContentTypeAlarms)
+		w.Header().Set(HeaderNext, strconv.Itoa(next))
+		w.Write(*buf)
+		return
+	}
 	writeJSON(w, http.StatusOK, AlarmsResponse{Alarms: toWireSlice(alarms), Next: next})
+}
+
+// handleCheckpointBlob serves a rejoining node's stored engine snapshot.
+func (s *Server) handleCheckpointBlob(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "checkpoint requires ?name=")
+		return
+	}
+	blob, err := s.checkpointBlob(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeSnapshot)
+	w.Write(blob)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -107,6 +107,10 @@ func writeCommonMetrics(p *promWriter, mon *mlops.Monitor, predictions int64, ps
 	p.sample("memfp_memory_compactions_total", nil, float64(ms.Compactions))
 	p.family("memfp_memory_compacted_events_total", "counter", "Events dropped by serving-log compaction.")
 	p.sample("memfp_memory_compacted_events_total", nil, float64(ms.CompactedEvents))
+	p.family("memfp_memory_spilled_bytes", "gauge", "Frozen serving-state bytes resident in the spill store.")
+	p.sample("memfp_memory_spilled_bytes", nil, float64(ms.SpilledBytes))
+	p.family("memfp_memory_spills_total", "counter", "Frozen-DIMM records written to the spill store.")
+	p.sample("memfp_memory_spills_total", nil, float64(ms.Spills))
 
 	shards := mon.ShardStats()
 	p.family("memfp_shard_queue_depth", "gauge", "Events queued on a serving shard at tick start.")
@@ -147,9 +151,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	ticks := s.ticks
 	alarms := int64(len(s.alarms))
-	pending := len(s.journal) - s.nextEmit
+	pending := s.journalEnd() - s.nextEmit
 	paused := s.paused
 	joined := len(s.nodes)
+	journal := s.journalInfoLocked()
 	snaps := make([]nodeSnap, 0, joined)
 	for _, n := range s.nodes {
 		snaps = append(snaps, nodeSnap{n.name, n.alive, time.Since(n.lastBeat).Seconds(), n.stats})
@@ -201,6 +206,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.sample("memfp_ticks_pending", nil, float64(pending))
 	p.family("memfp_paused", "gauge", "1 while serving is inside a maintenance window.")
 	p.sample("memfp_paused", nil, b2f(paused))
+
+	// Journal lifecycle (always emitted; flat zeros in local mode, where
+	// no tick journal exists).
+	p.family("memfp_journal_depth", "gauge", "Journaled ticks resident in control-plane memory.")
+	p.sample("memfp_journal_depth", nil, float64(journal.Depth))
+	p.family("memfp_journal_depth_highwater", "gauge", "Peak resident journal depth.")
+	p.sample("memfp_journal_depth_highwater", nil, float64(journal.DepthHighWater))
+	p.family("memfp_journal_truncations_total", "counter", "Journal truncation passes.")
+	p.sample("memfp_journal_truncations_total", nil, float64(journal.Truncations))
+	p.family("memfp_journal_truncated_ticks_total", "counter", "Ticks truncated out of the in-memory journal.")
+	p.sample("memfp_journal_truncated_ticks_total", nil, float64(journal.TruncatedTicks))
+	p.family("memfp_spill_bytes_total", "counter", "Checkpoint and journal-segment bytes written to the spill store.")
+	p.sample("memfp_spill_bytes_total", nil, float64(journal.SpillBytes))
 
 	p.family("memfp_nodes_expected", "gauge", "Node daemons the fleet is partitioned across.")
 	p.sample("memfp_nodes_expected", nil, float64(s.cfg.ExpectNodes))

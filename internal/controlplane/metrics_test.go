@@ -121,9 +121,13 @@ func TestMetricsExposition(t *testing.T) {
 		"memfp_memory_resident_bytes", "memfp_memory_evictions_total",
 		"memfp_memory_rehydrations_total", "memfp_memory_compactions_total",
 		"memfp_memory_compacted_events_total",
+		"memfp_memory_spilled_bytes", "memfp_memory_spills_total",
 		"memfp_shard_queue_depth", "memfp_shard_ingest_latency_seconds",
 		"memfp_registry_epoch", "memfp_model_production_version",
 		"memfp_ticks_total", "memfp_ticks_pending", "memfp_paused",
+		"memfp_journal_depth", "memfp_journal_depth_highwater",
+		"memfp_journal_truncations_total", "memfp_journal_truncated_ticks_total",
+		"memfp_spill_bytes_total",
 		"memfp_nodes_expected", "memfp_nodes_joined",
 	} {
 		if _, ok := types[family]; !ok {
@@ -224,7 +228,7 @@ func TestMetricsNodeExposition(t *testing.T) {
 	_, types := parseProm(t, text)
 	for _, family := range []string{
 		"memfp_events_ingested_total", "memfp_predictions_total", "memfp_drift_psi",
-		"memfp_memory_resident_bytes",
+		"memfp_memory_resident_bytes", "memfp_memory_spilled_bytes", "memfp_memory_spills_total",
 	} {
 		if _, ok := types[family]; !ok {
 			t.Errorf("node exposition missing %s", family)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -20,11 +21,14 @@ import (
 
 // Node is one data-plane daemon: it joins a control plane, receives a
 // deterministic hash-slot range, runs a real sharded serving engine over
-// its slice of the fleet, and streams alarms back on each forwarded tick.
+// its slice of the fleet, and streams alarms back on each forwarded tick
+// batch.
 //
 // The node is deliberately stateless across restarts — JoinOnce rebuilds
-// the engine, registry mirror and tick cursor from scratch, and the
-// control plane's journal replay reconstructs serving state exactly.
+// the engine, registry mirror and tick cursor from scratch, restoring
+// the control plane's stored snapshot when one exists; the journal
+// suffix past the checkpoint then replays to reconstruct serving state
+// exactly.
 type Node struct {
 	// Name identifies the node to the control plane; rejoining with the
 	// same name after a restart resumes the node's slot assignment.
@@ -32,6 +36,9 @@ type Node struct {
 	// Shards is the local engine's shard count (<= 0: one per CPU). Any
 	// value yields the identical alarm stream.
 	Shards int
+	// Spill backs the engine's frozen-DIMM eviction under a memory
+	// budget (nil: frozen records stay on the heap).
+	Spill mlops.SpillStore
 
 	client *Client
 	mux    *http.ServeMux
@@ -45,6 +52,7 @@ type Node struct {
 	seen       map[trace.DIMMID]bool
 	served     map[int][]mlops.Alarm // tick index -> alarms already returned
 	lastTick   int
+	restored   int // first tick past the restored checkpoint (0: fresh join)
 }
 
 // NewNode builds a node daemon for one control plane.
@@ -52,6 +60,8 @@ func NewNode(name, controlPlaneURL string) *Node {
 	n := &Node{Name: name, client: NewClient(controlPlaneURL), lastTick: -1}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", n.handleIngest)
+	mux.HandleFunc("POST /ingest2", n.handleIngest2)
+	mux.HandleFunc("POST /checkpoint", n.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -66,6 +76,9 @@ func (n *Node) Handler() http.Handler { return n.mux }
 // JoinOnce registers with the control plane (selfURL is the base URL the
 // control plane forwards ticks to) and builds a fresh serving engine with
 // the returned parameters — mirroring the single-process engine exactly.
+// When the control plane holds a checkpoint for this node (a rejoin), the
+// snapshot restores into the fresh engine and the tick cursor starts at
+// the checkpoint instead of zero.
 func (n *Node) JoinOnce(selfURL string) error {
 	resp, err := n.client.Join(JoinRequest{Name: n.Name, Addr: selfURL})
 	if err != nil {
@@ -81,16 +94,39 @@ func (n *Node) JoinOnce(selfURL string) error {
 	n.engine.Cooldown = trace.Minutes(resp.Cooldown)
 	n.engine.MicroBatch = resp.MicroBatch
 	n.engine.MemoryBudget = resp.MemoryBudget
+	n.engine.Spill = n.Spill
 	n.curVersion = 0
 	n.seen = map[trace.DIMMID]bool{}
 	n.served = map[int][]mlops.Alarm{}
 	n.lastTick = -1
+	n.restored = 0
 	if resp.Version > 0 {
 		if err := n.ensureVersionLocked(resp.Version); err != nil {
 			return fmt.Errorf("warm artifact pull: %w", err)
 		}
 	}
+	if resp.CheckpointTick > 0 {
+		blob, err := n.client.NodeCheckpoint(n.Name)
+		if err != nil {
+			return fmt.Errorf("pull checkpoint: %w", err)
+		}
+		if err := n.engine.RestoreSnapshot(blob); err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+		// The snapshot covers ticks [0, CheckpointTick); delivery resumes
+		// at CheckpointTick, so everything below it counts as served.
+		n.lastTick = resp.CheckpointTick - 1
+		n.restored = resp.CheckpointTick
+	}
 	return nil
+}
+
+// RestoredFrom reports the first tick past the checkpoint this node
+// restored at its last join (0: joined fresh, no checkpoint).
+func (n *Node) RestoredFrom() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.restored
 }
 
 // ensureVersion pins the node's production model to a registry version,
@@ -176,20 +212,29 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "node has not joined a control plane")
 		return
 	}
-	if tick <= n.lastTick {
-		writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(n.served[tick])})
-		return
-	}
-	if err := n.ensureVersionLocked(version); err != nil {
+	alarms, err := n.serveTickLocked(tick, version, events, parts)
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(alarms)})
+}
+
+// serveTickLocked serves one forwarded tick through the engine — or
+// replays the recorded response when the tick was already served (the
+// journal index makes delivery idempotent).
+func (n *Node) serveTickLocked(tick, version int, events []trace.Event, parts []string) ([]mlops.Alarm, error) {
+	if tick <= n.lastTick {
+		return n.served[tick], nil
+	}
+	if err := n.ensureVersionLocked(version); err != nil {
+		return nil, err
 	}
 	for i, e := range events {
 		if !n.seen[e.DIMM] {
 			part, err := platform.PartByNumber(parts[i])
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
-				return
+				return nil, err
 			}
 			n.engine.RegisterDIMM(e.DIMM, part)
 			n.seen[e.DIMM] = true
@@ -197,12 +242,78 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	alarms, err := n.engine.IngestBatch(events)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
+		return nil, err
 	}
 	n.served[tick] = alarms
 	n.lastTick = tick
-	writeJSON(w, http.StatusOK, TickResponse{Alarms: toWireSlice(alarms)})
+	return alarms, nil
+}
+
+// handleIngest2 serves one MFT1 tick batch: each tick ingests (or
+// replays) in journal order under its pinned model version, responses
+// already returned to the control plane below the frame's prune mark are
+// forgotten, and the alarms stream back as one MFR1 frame.
+func (n *Node) handleIngest2(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct != ContentTypeTicks {
+		httpError(w, http.StatusUnsupportedMediaType, "want Content-Type %s, got %q", ContentTypeTicks, ct)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	prune, ticks, err := decodeTickFrame(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.engine == nil {
+		httpError(w, http.StatusServiceUnavailable, "node has not joined a control plane")
+		return
+	}
+	for tk := range n.served {
+		if tk < prune {
+			delete(n.served, tk)
+		}
+	}
+	idx := make([]int, len(ticks))
+	res := make([][]mlops.Alarm, len(ticks))
+	for i, dt := range ticks {
+		alarms, err := n.serveTickLocked(dt.tick, dt.version, dt.events, dt.parts)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "tick %d: %v", dt.tick, err)
+			return
+		}
+		idx[i] = dt.tick
+		res[i] = alarms
+	}
+	buf := getWireBuf()
+	defer putWireBuf(buf)
+	*buf = appendRespFrame((*buf)[:0], idx, res)
+	w.Header().Set("Content-Type", ContentTypeTicks+"-response")
+	w.Write(*buf)
+}
+
+// handleCheckpoint snapshots the node's engine (MFS1) for the control
+// plane's checkpoint store.
+func (n *Node) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.engine == nil {
+		httpError(w, http.StatusServiceUnavailable, "node has not joined a control plane")
+		return
+	}
+	blob, err := n.engine.Snapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeSnapshot)
+	w.Write(blob)
 }
 
 // handleMetrics is the node's Prometheus endpoint: the common monitor
@@ -243,6 +354,8 @@ func (n *Node) Stats() NodeStats {
 		st.Rehydrations = ms.Rehydrations
 		st.Compactions = ms.Compactions
 		st.CompactedEvents = ms.CompactedEvents
+		st.SpilledBytes = ms.SpilledBytes
+		st.Spills = ms.Spills
 	}
 	return st
 }

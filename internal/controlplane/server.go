@@ -5,15 +5,15 @@
 // deterministic slice of the fleet's DIMMs.
 //
 // The control plane exposes an HTTP API (stdlib net/http only) to ingest
-// event batches as BMC text log lines, query the emitted alarm stream,
-// list/promote/rollback registry models — artifacts served as the
-// versioned model envelope, cache-busted by the registry's promotion
-// epoch — pause/resume serving, and a hand-rolled Prometheus
-// text-exposition /metrics endpoint.
+// event batches — as BMC text log lines or as the compact MFE1 binary
+// frame, negotiated per request by Content-Type — query the emitted
+// alarm stream, list/promote/rollback registry models, pause/resume
+// serving, and a hand-rolled Prometheus text-exposition /metrics
+// endpoint.
 //
 // Distribution preserves the repo's core invariant: N node daemons
 // replay a fleet to the byte-identical alarm stream of the single-process
-// engine, surviving a node restart mid-stream. Three mechanisms carry
+// engine, surviving a node restart mid-stream. Four mechanisms carry
 // that guarantee:
 //
 //   - Deterministic partition: DIMMs hash onto Slots hash slots with the
@@ -26,11 +26,23 @@
 //     wire); a tick's alarms are emitted — merged in (Time, DIMM) order —
 //     only when every owning node has served it, strictly in journal
 //     order. A dead node stalls emission but never reorders it.
-//   - Catch-up replay: a rejoining node (same name, fresh state) has its
-//     cursor reset and the full journal re-delivered, each tick pinned to
-//     its historical model version, so throttle/cooldown state rebuilds
-//     exactly; alarms from already-emitted ticks are discarded as
-//     duplicates.
+//   - Pipelined fan-out: one sender goroutine per node streams batches
+//     of up to Window unserved ticks over persistent connections as
+//     MFT1 binary frames (falling back to per-tick BMC text lines if the
+//     node answers 404/405), decoding responses off the journal lock.
+//     IngestTick only journals and applies backpressure, so the driver
+//     overlaps with delivery on every node.
+//   - Checkpointed truncation: every CheckpointEvery emitted ticks the
+//     control plane captures each node's engine snapshot (its serving
+//     state after exactly the ticks delivered so far) into the spill
+//     store, advancing that node's low-water mark. Journal entries below
+//     every node's mark and the emission cursor are truncated — spilled
+//     to the store as an archival MFT1 segment — bounding journal
+//     memory. A rejoining node (same name, fresh state) restores the
+//     snapshot and replays only the journal suffix past its checkpoint,
+//     each tick pinned to its historical model version, so
+//     throttle/cooldown state rebuilds exactly; alarms from
+//     already-emitted ticks are discarded as duplicates.
 package controlplane
 
 import (
@@ -68,6 +80,18 @@ type Config struct {
 	Slots int
 	// Timeout bounds each forwarded node request (default 10s).
 	Timeout time.Duration
+	// Window bounds each node's delivery pipeline: at most this many
+	// unserved non-empty ticks ride in one batched request, and
+	// IngestTick applies backpressure once a live node falls further
+	// behind the journal head (default 8).
+	Window int
+	// CheckpointEvery schedules a snapshot from every node each time
+	// this many ticks have been emitted (default 64), advancing the
+	// journal's truncation low-water mark.
+	CheckpointEvery int
+	// Spill stores node checkpoints and truncated journal segments
+	// (default: in-memory).
+	Spill mlops.SpillStore
 }
 
 // tickRec is one journaled ingest batch.
@@ -84,7 +108,12 @@ type nodeRec struct {
 	name     string
 	addr     string
 	index    int
-	sent     int // next journal index to deliver
+	sent     int // next journal index to deliver (advanced optimistically)
+	epoch    int // bumped on rejoin; invalidates stale in-flight responses
+	inflight bool
+	wantCkpt bool
+	ckptTick int // ticks < ckptTick are covered by the stored snapshot
+	textWire bool
 	alive    bool
 	lastBeat time.Time
 	lastErr  error
@@ -92,26 +121,38 @@ type nodeRec struct {
 }
 
 // Server is the control plane. One ingest driver at a time: IngestTick,
-// Flush and Resume serialize on the server mutex and hold it across node
-// round-trips; the query/registry/join endpoints stay responsive because
-// they either skip that mutex or only touch it briefly.
+// Flush and Resume serialize on the server mutex; per-node sender
+// goroutines deliver journal batches concurrently, holding the mutex
+// only to pick up work and record results — node round-trips and frame
+// codecs run off the lock.
 type Server struct {
 	cfg    Config
 	pipe   *mlops.Pipeline
 	engine *mlops.Server // local serving engine (ExpectNodes == 0)
 	client *http.Client
 	mux    *http.ServeMux
+	spill  mlops.SpillStore
 
-	mu       sync.Mutex
-	parts    map[trace.DIMMID]platform.DIMMPart
-	nodes    []*nodeRec
-	byName   map[string]*nodeRec
-	journal  []*tickRec
-	nextEmit int // journal index of the next unemitted tick
-	ticks    int
-	started  bool // first distributed tick journaled; topology frozen
-	paused   bool // distributed-mode pause (local mode delegates to engine)
-	alarms   []mlops.Alarm
+	mu          sync.Mutex
+	cond        *sync.Cond // delivery/emission progress; senders park here
+	parts       map[trace.DIMMID]platform.DIMMPart
+	nodes       []*nodeRec
+	byName      map[string]*nodeRec
+	journal     []*tickRec // journal[i] holds tick journalBase+i
+	journalBase int        // first journal index still in memory
+	journalHigh int        // high-water mark of in-memory journal depth
+	truncations int
+	truncated   int   // ticks truncated out of the journal
+	spillBytes  int64 // bytes written to the spill store
+	sinceCkpt   int   // ticks emitted since the last checkpoint request
+	nextEmit    int   // journal index of the next unemitted tick
+	retCursor   int   // alarms already returned to the ingest driver
+	ticks       int
+	started     bool // first distributed tick journaled; topology frozen
+	paused      bool // distributed-mode pause (local mode delegates to engine)
+	closed      bool
+	alarms      []mlops.Alarm
+	ownerBuf    []int32 // partitionLocked scratch: per-event owner node
 }
 
 // New builds a control-plane server. With cfg.ExpectNodes == 0 it serves
@@ -130,13 +171,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 64
+	}
+	if cfg.Spill == nil {
+		cfg.Spill = mlops.NewMemSpill()
+	}
 	s := &Server{
 		cfg:    cfg,
 		pipe:   cfg.Pipeline,
 		client: &http.Client{Timeout: cfg.Timeout},
+		spill:  cfg.Spill,
 		parts:  map[trace.DIMMID]platform.DIMMPart{},
 		byName: map[string]*nodeRec{},
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if cfg.ExpectNodes == 0 {
 		s.engine = cfg.Pipeline.NewServer()
 	}
@@ -150,10 +202,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pipeline returns the wrapped pipeline.
 func (s *Server) Pipeline() *mlops.Pipeline { return s.pipe }
 
+// Close stops the per-node sender goroutines. Pending journal state is
+// left intact; Close is for orderly shutdown, not draining (use Flush).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // RegisterDIMM announces a DIMM's static attributes before its events
 // can be served — the control plane records the part for wire encoding
 // and, in local mode, registers it with the engine. Nodes learn DIMMs
-// from the part numbers on forwarded log lines.
+// from the part numbers on forwarded frames.
 func (s *Server) RegisterDIMM(id trace.DIMMID, part platform.DIMMPart) {
 	s.mu.Lock()
 	s.parts[id] = part
@@ -192,19 +253,28 @@ type TickResult struct {
 	Pending int
 }
 
+// journalEnd returns one past the last journal index.
+func (s *Server) journalEnd() int { return s.journalBase + len(s.journal) }
+
+// rec returns the record at an absolute journal index.
+func (s *Server) rec(i int) *tickRec { return s.journal[i-s.journalBase] }
+
 // IngestTick accepts one event micro-batch — the serving tick. In local
-// mode it is mlops.Server.IngestBatch behind the control-plane bookkeeping;
-// in distributed mode the batch is journaled with the current production
-// model version and delivered to the owning nodes, and every tick whose
-// owners have all responded emits its merged alarms in journal order.
-// A dead node leaves ticks pending (no error); they emit after the node
-// rejoins and a later tick or Flush re-drives delivery.
+// mode it is mlops.Server.IngestBatch behind the control-plane
+// bookkeeping; in distributed mode the batch is journaled with the
+// current production model version for the per-node senders to stream
+// out, and the call returns every alarm whose emission completed since
+// the previous driver call (journal order is preserved across calls).
+// Backpressure: the call waits while any live node is more than Window
+// ticks behind. A dead node leaves ticks pending (no error); they emit
+// after the node rejoins and Flush drains delivery.
 func (s *Server) IngestTick(events []trace.Event) (TickResult, error) {
 	if s.engine != nil {
 		alarms, err := s.engine.IngestBatch(events)
 		s.mu.Lock()
 		s.ticks++
 		s.alarms = append(s.alarms, alarms...)
+		s.retCursor = len(s.alarms)
 		s.mu.Unlock()
 		return TickResult{Alarms: alarms, Pending: s.engine.HeldEvents()}, err
 	}
@@ -230,33 +300,85 @@ func (s *Server) IngestTick(events []trace.Event) (TickResult, error) {
 		served:  make([]bool, n),
 		version: pv.Version,
 	}
+	// A node with no events in this tick has nothing to serve: mark it
+	// served at append time so emission never waits on an empty delivery.
+	for i, sl := range t.slices {
+		if len(sl) == 0 {
+			t.served[i] = true
+		}
+	}
 	if mon := s.pipe.Monitor; mon != nil {
 		for _, e := range events {
 			mon.CountEvent(e)
 		}
 	}
 	s.journal = append(s.journal, t)
-	s.ticks++
-	if s.paused {
-		return TickResult{Pending: len(s.journal) - s.nextEmit}, nil
+	if d := len(s.journal); d > s.journalHigh {
+		s.journalHigh = d
 	}
-	out := s.deliverLocked()
-	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+	s.ticks++
+	s.emitLocked() // an all-empty tick emits immediately
+	s.cond.Broadcast()
+	for !s.closed && !s.paused && s.backloggedLocked() {
+		s.cond.Wait()
+	}
+	return s.driverResultLocked(), nil
 }
 
-// Flush re-drives delivery of pending ticks (after a node rejoin)
-// without ingesting anything new.
+// backloggedLocked reports whether any live node is more than Window
+// ticks behind the journal head.
+func (s *Server) backloggedLocked() bool {
+	end := s.journalEnd()
+	for _, n := range s.nodes {
+		if n.alive && end-n.sent > s.cfg.Window {
+			return true
+		}
+	}
+	return false
+}
+
+// driverResultLocked collects the alarms emitted since the driver's last
+// call and the pending-tick count.
+func (s *Server) driverResultLocked() TickResult {
+	var out []mlops.Alarm
+	if s.retCursor < len(s.alarms) {
+		out = s.alarms[s.retCursor:len(s.alarms):len(s.alarms)]
+		s.retCursor = len(s.alarms)
+	}
+	return TickResult{Alarms: out, Pending: s.journalEnd() - s.nextEmit}
+}
+
+// quiescentLocked reports whether delivery can make no further progress:
+// every live node has served the whole journal with no request or
+// checkpoint outstanding.
+func (s *Server) quiescentLocked() bool {
+	end := s.journalEnd()
+	for _, n := range s.nodes {
+		if !n.alive {
+			continue
+		}
+		if n.sent < end || n.inflight || n.wantCkpt {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush waits until delivery of pending ticks quiesces (after a node
+// rejoin) without ingesting anything new, and returns the alarms emitted
+// since the driver's last call. With a node still dead, the remaining
+// ticks stay pending.
 func (s *Server) Flush() (TickResult, error) {
 	if s.engine != nil {
 		return TickResult{Pending: s.engine.HeldEvents()}, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.paused {
-		return TickResult{Pending: len(s.journal) - s.nextEmit}, nil
+	s.cond.Broadcast()
+	for !s.closed && !s.paused && !s.quiescentLocked() {
+		s.cond.Wait()
 	}
-	out := s.deliverLocked()
-	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+	return s.driverResultLocked(), nil
 }
 
 // Pause opens a maintenance window: local mode holds events in the
@@ -268,6 +390,7 @@ func (s *Server) Pause() {
 	}
 	s.mu.Lock()
 	s.paused = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -277,14 +400,18 @@ func (s *Server) Resume() (TickResult, error) {
 		alarms, err := s.engine.Resume()
 		s.mu.Lock()
 		s.alarms = append(s.alarms, alarms...)
+		s.retCursor = len(s.alarms)
 		s.mu.Unlock()
 		return TickResult{Alarms: alarms, Pending: s.engine.HeldEvents()}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.paused = false
-	out := s.deliverLocked()
-	return TickResult{Alarms: out, Pending: len(s.journal) - s.nextEmit}, nil
+	s.cond.Broadcast()
+	for !s.closed && !s.paused && !s.quiescentLocked() {
+		s.cond.Wait()
+	}
+	return s.driverResultLocked(), nil
 }
 
 // AlarmsSince returns the emitted alarm stream from cursor i on, plus
@@ -316,16 +443,54 @@ func (s *Server) MemoryStats() mlops.MemoryStats {
 		ms.Rehydrations += n.stats.Rehydrations
 		ms.Compactions += n.stats.Compactions
 		ms.CompactedEvents += n.stats.CompactedEvents
+		ms.SpilledBytes += n.stats.SpilledBytes
+		ms.Spills += n.stats.Spills
 	}
 	return ms
 }
 
+// JournalStats reports the journal's depth, truncation counters and
+// spill volume.
+func (s *Server) JournalStats() JournalInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalInfoLocked()
+}
+
+func (s *Server) journalInfoLocked() JournalInfo {
+	return JournalInfo{
+		Depth:          len(s.journal),
+		DepthHighWater: s.journalHigh,
+		Base:           s.journalBase,
+		Truncations:    s.truncations,
+		TruncatedTicks: s.truncated,
+		SpillBytes:     s.spillBytes,
+	}
+}
+
 // partitionLocked splits a batch into per-node slices through the
-// slot assignment, preserving arrival order within each node.
+// slot assignment, preserving arrival order within each node. The
+// journal retains every tick's partition until truncation, so the
+// slices share one exactly-sized backing array instead of paying
+// append-growth garbage per tick.
 func (s *Server) partitionLocked(events []trace.Event) [][]trace.Event {
-	out := make([][]trace.Event, s.cfg.ExpectNodes)
+	n := s.cfg.ExpectNodes
+	counts := make([]int, n)
+	s.ownerBuf = s.ownerBuf[:0]
 	for _, e := range events {
 		ni := s.nodeForSlot(mlops.DIMMShard(e.DIMM, s.cfg.Slots))
+		s.ownerBuf = append(s.ownerBuf, int32(ni))
+		counts[ni]++
+	}
+	backing := make([]trace.Event, len(events))
+	out := make([][]trace.Event, n)
+	off := 0
+	for i, c := range counts {
+		out[i] = backing[off : off : off+c]
+		off += c
+	}
+	for k, e := range events {
+		ni := s.ownerBuf[k]
 		out[ni] = append(out[ni], e)
 	}
 	return out
@@ -346,42 +511,14 @@ func (s *Server) nodeForSlot(slot int) int {
 	return s.cfg.ExpectNodes - 1
 }
 
-// deliverLocked pushes every node's unserved journal suffix in order,
-// then emits every tick that has become fully served. Node round-trips
-// happen with the server mutex held: the control plane admits one
-// ingest driver at a time by design, and no handler a node calls back
-// into (artifact pulls) takes this mutex.
-func (s *Server) deliverLocked() []mlops.Alarm {
-	for _, n := range s.nodes {
-		for n.sent < len(s.journal) {
-			t := s.journal[n.sent]
-			ev := t.slices[n.index]
-			if len(ev) > 0 {
-				alarms, err := s.forward(n, n.sent, t.version, ev)
-				if err != nil {
-					n.alive = false
-					n.lastErr = err
-					break
-				}
-				n.alive = true
-				if !t.done {
-					t.res[n.index] = alarms
-				}
-			}
-			t.served[n.index] = true
-			n.sent++
-		}
-	}
-	return s.emitLocked()
-}
-
 // emitLocked emits alarms for fully-served ticks, strictly in journal
 // order, merged (Time, DIMM) within each tick — the same total order
-// the single-process engine produces.
-func (s *Server) emitLocked() []mlops.Alarm {
-	var out []mlops.Alarm
-	for s.nextEmit < len(s.journal) {
-		t := s.journal[s.nextEmit]
+// the single-process engine produces. Every CheckpointEvery emitted
+// ticks it schedules a snapshot on each node so the journal's truncation
+// low-water mark can advance.
+func (s *Server) emitLocked() {
+	for s.nextEmit < s.journalEnd() {
+		t := s.rec(s.nextEmit)
 		ready := true
 		for _, sv := range t.served {
 			if !sv {
@@ -399,11 +536,58 @@ func (s *Server) emitLocked() []mlops.Alarm {
 			}
 		}
 		s.alarms = append(s.alarms, merged...)
-		out = append(out, merged...)
 		t.res, t.done = nil, true
 		s.nextEmit++
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.cfg.CheckpointEvery {
+			s.sinceCkpt = 0
+			for _, n := range s.nodes {
+				n.wantCkpt = true
+			}
+		}
 	}
-	return out
+}
+
+// maybeTruncateLocked drops journal entries below every node's
+// checkpoint mark and the emission cursor, spilling the truncated
+// segment to the store as an archival MFT1 frame. Entries a rejoining
+// node might still need (>= its checkpoint) are never truncated.
+func (s *Server) maybeTruncateLocked() {
+	low := s.nextEmit
+	for _, n := range s.nodes {
+		if n.ckptTick < low {
+			low = n.ckptTick
+		}
+	}
+	if low <= s.journalBase {
+		return
+	}
+	seg := make([]wireTick, 0, low-s.journalBase)
+	for i := s.journalBase; i < low; i++ {
+		t := s.rec(i)
+		var flat []trace.Event
+		for _, sl := range t.slices {
+			flat = append(flat, sl...)
+		}
+		seg = append(seg, wireTick{tick: i, version: t.version, events: flat})
+	}
+	blob := appendTickFrame(nil, s.journalBase, seg, s.partNumberLocked)
+	key := fmt.Sprintf("journal/%d-%d", s.journalBase, low)
+	if err := s.spill.Put(key, blob); err == nil {
+		s.spillBytes += int64(len(blob))
+	}
+	s.truncated += low - s.journalBase
+	s.truncations++
+	// Copy the suffix into a fresh slice so the truncated prefix's event
+	// memory is actually released.
+	s.journal = append([]*tickRec(nil), s.journal[low-s.journalBase:]...)
+	s.journalBase = low
+}
+
+// partNumberLocked resolves a registered DIMM's part number for frame
+// encoding.
+func (s *Server) partNumberLocked(id trace.DIMMID) string {
+	return s.parts[id].PartNumber
 }
 
 // mergeAlarmSlices flattens per-node alarm slices into (Time, DIMM)
@@ -429,36 +613,245 @@ func mergeAlarmSlices(per [][]mlops.Alarm) []mlops.Alarm {
 	return out
 }
 
-// forward delivers one tick slice to a node as BMC text lines, pinned to
-// the tick's model version and journal index.
-func (s *Server) forward(n *nodeRec, tick, version int, events []trace.Event) ([]mlops.Alarm, error) {
-	var body bytes.Buffer
-	for _, e := range events {
-		fmt.Fprintln(&body, trace.EncodeEvent(e, s.parts[e.DIMM]))
+// senderWorkLocked reports whether node n's sender has anything to do.
+func (s *Server) senderWorkLocked(n *nodeRec) bool {
+	if s.paused || !n.alive {
+		return false
 	}
-	req, err := http.NewRequest(http.MethodPost, n.addr+"/ingest", &body)
+	return n.wantCkpt || n.sent < s.journalEnd()
+}
+
+// sender is node n's delivery goroutine: it parks on the cond until the
+// journal grows past the node's cursor (or a checkpoint is due), ships
+// one bounded batch per round-trip, and records results. The HTTP
+// round-trip and both frame codecs run with the mutex released; an
+// epoch bump (node rejoin) invalidates whatever was in flight.
+func (s *Server) sender(n *nodeRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && !s.senderWorkLocked(n) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		if n.wantCkpt {
+			s.checkpointLocked(n)
+			continue
+		}
+		s.deliverBatchLocked(n)
+	}
+}
+
+// checkpointLocked captures node n's engine snapshot into the spill
+// store and advances its truncation mark. The sender is sequential, so
+// no batch is in flight: n.sent is exactly the tick count the snapshot
+// covers.
+func (s *Server) checkpointLocked(n *nodeRec) {
+	covers := n.sent
+	epoch := n.epoch
+	addr := n.addr
+	n.inflight = true
+	s.mu.Unlock()
+	blob, err := s.fetchCheckpoint(addr)
+	s.mu.Lock()
+	n.inflight = false
+	if epoch != n.epoch {
+		return // node rejoined mid-capture; the snapshot is stale
+	}
+	if err != nil {
+		n.alive = false
+		n.lastErr = err
+		s.cond.Broadcast()
+		return
+	}
+	if perr := s.spill.Put("ckpt/"+n.name, blob); perr == nil {
+		s.spillBytes += int64(len(blob))
+		n.ckptTick = covers
+	}
+	n.wantCkpt = false
+	s.maybeTruncateLocked()
+	s.cond.Broadcast()
+}
+
+// fetchCheckpoint asks a node for its engine snapshot.
+func (s *Server) fetchCheckpoint(addr string) ([]byte, error) {
+	resp, err := s.client.Post(addr+"/checkpoint", ContentTypeSnapshot, nil)
 	if err != nil {
 		return nil, err
-	}
-	req.Header.Set("Content-Type", "text/plain")
-	req.Header.Set(HeaderModelVersion, strconv.Itoa(version))
-	req.Header.Set(HeaderTick, strconv.Itoa(tick))
-	resp, err := s.client.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("controlplane: node %s: %w", n.name, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("controlplane: node %s: %s: %s", n.name, resp.Status, bytes.TrimSpace(b))
+		return nil, fmt.Errorf("controlplane: checkpoint: %s: %s", resp.Status, bytes.TrimSpace(b))
 	}
-	var tr TickResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-		return nil, fmt.Errorf("controlplane: node %s: decode response: %w", n.name, err)
+	return io.ReadAll(resp.Body)
+}
+
+// deliverBatchLocked ships the next bounded batch of unserved ticks to
+// node n and records the returned alarms. The cursor advances
+// optimistically before the round-trip and rolls back on failure.
+func (s *Server) deliverBatchLocked(n *nodeRec) {
+	start := n.sent
+	end := s.journalEnd()
+	var batch []wireTick
+	parts := map[trace.DIMMID]platform.DIMMPart{}
+	upto := start
+	for upto < end && len(batch) < s.cfg.Window {
+		t := s.rec(upto)
+		if ev := t.slices[n.index]; len(ev) > 0 {
+			batch = append(batch, wireTick{tick: upto, version: t.version, events: ev})
+			for _, e := range ev {
+				if _, ok := parts[e.DIMM]; !ok {
+					parts[e.DIMM] = s.parts[e.DIMM]
+				}
+			}
+		}
+		upto++
 	}
-	out := make([]mlops.Alarm, len(tr.Alarms))
-	for i, a := range tr.Alarms {
-		out[i] = fromWire(a)
+	n.sent = upto
+	if len(batch) == 0 {
+		s.cond.Broadcast() // advanced over empty ticks only
+		return
+	}
+	prune := s.nextEmit
+	epoch := n.epoch
+	addr := n.addr
+	text := n.textWire
+	name := n.name
+	n.inflight = true
+	s.mu.Unlock()
+	res, fellBack, err := s.forwardBatch(name, addr, text, prune, batch, parts)
+	s.mu.Lock()
+	n.inflight = false
+	if epoch != n.epoch {
+		return // node rejoined; its cursor was reset to the checkpoint
+	}
+	if fellBack {
+		n.textWire = true
+	}
+	if err != nil {
+		n.alive = false
+		n.lastErr = err
+		n.sent = start
+		s.cond.Broadcast()
+		return
+	}
+	n.alive = true
+	n.lastErr = nil
+	for i, wt := range batch {
+		if wt.tick < s.journalBase {
+			continue // truncated behind us; already emitted
+		}
+		t := s.rec(wt.tick)
+		if !t.done {
+			t.res[n.index] = res[i]
+		}
+		t.served[n.index] = true
+	}
+	s.emitLocked()
+	s.maybeTruncateLocked()
+	s.cond.Broadcast()
+}
+
+// forwardBatch delivers a tick batch to a node. The binary MFT1 frame is
+// the default; a node answering 404/405 (an older daemon) flips the
+// connection to per-tick BMC text lines, reported via fellBack. The
+// returned slice is parallel to batch.
+func (s *Server) forwardBatch(name, addr string, text bool, prune int, batch []wireTick,
+	parts map[trace.DIMMID]platform.DIMMPart) (res [][]mlops.Alarm, fellBack bool, err error) {
+	if !text {
+		res, err = s.forwardFrame(name, addr, prune, batch, parts)
+		if err == nil || !errors.Is(err, errNoBinaryWire) {
+			return res, false, err
+		}
+	}
+	res, err = s.forwardText(name, addr, batch, parts)
+	return res, !text, err
+}
+
+// errNoBinaryWire reports a node without the /ingest2 batch endpoint.
+var errNoBinaryWire = errors.New("node does not speak the binary tick wire")
+
+// forwardFrame posts one MFT1 batch to the node's /ingest2 endpoint.
+func (s *Server) forwardFrame(name, addr string, prune int, batch []wireTick,
+	parts map[trace.DIMMID]platform.DIMMPart) ([][]mlops.Alarm, error) {
+	buf := getWireBuf()
+	defer putWireBuf(buf)
+	*buf = appendTickFrame((*buf)[:0], prune, batch, func(id trace.DIMMID) string {
+		return parts[id].PartNumber
+	})
+	resp, err := s.client.Post(addr+"/ingest2", ContentTypeTicks, bytes.NewReader(*buf))
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: node %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errNoBinaryWire
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("controlplane: node %s: %s: %s", name, resp.Status, bytes.TrimSpace(b))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: node %s: read response: %w", name, err)
+	}
+	byTick, err := decodeRespFrame(body)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: node %s: %w", name, err)
+	}
+	out := make([][]mlops.Alarm, len(batch))
+	for i, wt := range batch {
+		as, ok := byTick[wt.tick]
+		if !ok {
+			return nil, fmt.Errorf("controlplane: node %s: response missing tick %d", name, wt.tick)
+		}
+		out[i] = as
+	}
+	return out, nil
+}
+
+// forwardText delivers a batch tick by tick as BMC text lines pinned to
+// each tick's model version and journal index — the pre-binary wire,
+// kept as the fallback and equivalence oracle.
+func (s *Server) forwardText(name, addr string, batch []wireTick,
+	parts map[trace.DIMMID]platform.DIMMPart) ([][]mlops.Alarm, error) {
+	out := make([][]mlops.Alarm, len(batch))
+	for i, wt := range batch {
+		var body bytes.Buffer
+		for _, e := range wt.events {
+			fmt.Fprintln(&body, trace.EncodeEvent(e, parts[e.DIMM]))
+		}
+		req, err := http.NewRequest(http.MethodPost, addr+"/ingest", &body)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		req.Header.Set(HeaderModelVersion, strconv.Itoa(wt.version))
+		req.Header.Set(HeaderTick, strconv.Itoa(wt.tick))
+		resp, err := s.client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("controlplane: node %s: %w", name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return nil, fmt.Errorf("controlplane: node %s: %s: %s", name, resp.Status, bytes.TrimSpace(b))
+		}
+		var tr TickResponse
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("controlplane: node %s: decode response: %w", name, err)
+		}
+		alarms := make([]mlops.Alarm, len(tr.Alarms))
+		for j, a := range tr.Alarms {
+			alarms[j] = fromWire(a)
+		}
+		out[i] = alarms
 	}
 	return out, nil
 }
@@ -475,14 +868,19 @@ func (s *Server) join(req JoinRequest) (JoinResponse, int, error) {
 	}
 	n, ok := s.byName[req.Name]
 	if ok {
-		// Rejoin: same name, fresh node state. Reset the delivery cursor
-		// so the full journal replays — under each tick's pinned model
-		// version — rebuilding the node's serving state exactly.
+		// Rejoin: same name, fresh node state. The node restores its
+		// checkpointed snapshot (serving state after exactly ckptTick
+		// ticks), so the delivery cursor resets to the checkpoint — not
+		// zero — and only the journal suffix replays, under each tick's
+		// pinned model version.
 		n.addr = req.Addr
-		n.sent = 0
+		n.epoch++ // invalidate any in-flight response from the old process
+		n.sent = n.ckptTick
 		n.alive = true
+		n.textWire = false
 		n.lastBeat = time.Now()
 		n.lastErr = nil
+		s.cond.Broadcast()
 	} else {
 		if s.started {
 			return JoinResponse{}, http.StatusConflict,
@@ -495,17 +893,19 @@ func (s *Server) join(req JoinRequest) (JoinResponse, int, error) {
 		n = &nodeRec{name: req.Name, addr: req.Addr, index: len(s.nodes), alive: true, lastBeat: time.Now()}
 		s.nodes = append(s.nodes, n)
 		s.byName[req.Name] = n
+		go s.sender(n)
 	}
 	from, to := s.slotRange(n.index)
 	resp := JoinResponse{
-		Index:    n.index,
-		Nodes:    s.cfg.ExpectNodes,
-		Slots:    s.cfg.Slots,
-		SlotFrom: from,
-		SlotTo:   to,
-		Platform: string(s.pipe.Platform),
-		Model:    s.pipe.ModelName,
-		Epoch:    s.pipe.Registry.Epoch(),
+		Index:          n.index,
+		Nodes:          s.cfg.ExpectNodes,
+		Slots:          s.cfg.Slots,
+		SlotFrom:       from,
+		SlotTo:         to,
+		Platform:       string(s.pipe.Platform),
+		Model:          s.pipe.ModelName,
+		Epoch:          s.pipe.Registry.Epoch(),
+		CheckpointTick: n.ckptTick,
 	}
 	// Serving parameters the node engine must mirror. A throwaway local
 	// engine would drift from pipeline defaults; read them from a probe
@@ -521,6 +921,18 @@ func (s *Server) join(req JoinRequest) (JoinResponse, int, error) {
 	return resp, http.StatusOK, nil
 }
 
+// checkpointBlob returns a node's stored snapshot for its rejoin
+// restore.
+func (s *Server) checkpointBlob(name string) ([]byte, error) {
+	s.mu.Lock()
+	_, known := s.byName[name]
+	s.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("unknown node %q", name)
+	}
+	return s.spill.Get("ckpt/" + name)
+}
+
 // heartbeat refreshes a node's liveness and telemetry.
 func (s *Server) heartbeat(req HeartbeatRequest) (HeartbeatResponse, int, error) {
 	s.mu.Lock()
@@ -529,6 +941,7 @@ func (s *Server) heartbeat(req HeartbeatRequest) (HeartbeatResponse, int, error)
 		n.alive = true
 		n.lastBeat = time.Now()
 		n.stats = req.Stats
+		s.cond.Broadcast() // a revived node's sender can resume
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -566,7 +979,9 @@ func (s *Server) status() StatusResponse {
 	if s.engine != nil {
 		st.Pending = s.engine.HeldEvents()
 	} else {
-		st.Pending = len(s.journal) - s.nextEmit
+		st.Pending = s.journalEnd() - s.nextEmit
+		ji := s.journalInfoLocked()
+		st.Journal = &ji
 	}
 	for _, n := range s.nodes {
 		from, to := s.slotRange(n.index)
@@ -576,6 +991,7 @@ func (s *Server) status() StatusResponse {
 			Alive:      n.alive,
 			BeatAgeSec: time.Since(n.lastBeat).Seconds(),
 			SentTicks:  n.sent,
+			Checkpoint: n.ckptTick,
 			Stats:      n.stats,
 		})
 		st.Predictions += n.stats.Predictions

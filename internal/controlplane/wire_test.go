@@ -1,0 +1,164 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"memfp/internal/mlops"
+	"memfp/internal/platform"
+	"memfp/internal/trace"
+)
+
+// randAlarms builds a page of random alarms, including adversarial
+// scores whose decimal renderings are lossy — the raw-bits codec must
+// not care.
+func randAlarms(rng *rand.Rand, n int) []mlops.Alarm {
+	platforms := platform.All()
+	models := []string{"purley-rf", "purley-rf-v2", "whitley-gbdt"}
+	out := make([]mlops.Alarm, 0, n)
+	tm := int64(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(2000) - 200) // deltas may be negative
+		out = append(out, mlops.Alarm{
+			Time: trace.Minutes(tm),
+			DIMM: trace.DIMMID{
+				Platform: platforms[rng.Intn(len(platforms))],
+				Server:   rng.Intn(100000),
+				Slot:     rng.Intn(24),
+			},
+			Score: rng.Float64(),
+			Model: models[rng.Intn(len(models))],
+		})
+	}
+	return out
+}
+
+// TestAlarmFrameMatchesJSON is the alarm wire's equivalence oracle: over
+// random pages, the binary frame must decode to exactly what the JSON
+// codec round-trips — same alarms, same float64 bits.
+func TestAlarmFrameMatchesJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		alarms := randAlarms(rng, rng.Intn(60))
+
+		frame := AppendAlarmFrame(nil, alarms)
+		got, err := DecodeAlarmFrame(frame)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(alarms) {
+			t.Fatalf("trial %d: %d alarms, want %d", trial, len(got), len(alarms))
+		}
+
+		blob, err := json.Marshal(toWireSlice(alarms))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON []AlarmJSON
+		if err := json.Unmarshal(blob, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		for i := range alarms {
+			if got[i] != fromWire(viaJSON[i]) {
+				t.Fatalf("trial %d alarm %d: binary %+v != JSON %+v", trial, i, got[i], fromWire(viaJSON[i]))
+			}
+		}
+
+		// Determinism: equal pages encode to equal bytes.
+		if !bytes.Equal(frame, AppendAlarmFrame(nil, alarms)) {
+			t.Fatalf("trial %d: alarm frame encoding not deterministic", trial)
+		}
+	}
+}
+
+// TestAlarmFrameRejectsCorruption truncates and mutates valid frames:
+// decoding must fail cleanly or parse — never panic.
+func TestAlarmFrameRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	frame := AppendAlarmFrame(nil, randAlarms(rng, 40))
+	for cut := 0; cut < len(frame); cut += 3 {
+		DecodeAlarmFrame(frame[:cut]) // must not panic
+	}
+	for i := 0; i < len(frame); i += 2 {
+		mutated := bytes.Clone(frame)
+		mutated[i] ^= 0xFF
+		DecodeAlarmFrame(mutated) // must not panic
+	}
+	if _, err := DecodeAlarmFrame(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := DecodeAlarmFrame([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestTickAndRespFrameRoundTrip exercises the fan-out frames end to end:
+// a tick batch encodes, decodes to the same events in the same order,
+// and the matching response frame maps every tick back to its alarms.
+func TestTickAndRespFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := fleet(t)
+	events := f.all[:200]
+	partOf := func(id trace.DIMMID) string { return f.parts[id].PartNumber }
+
+	ticks := []wireTick{
+		{tick: 7, version: 1, events: events[:80]},
+		{tick: 9, version: 1, events: events[80:150]},
+		{tick: 12, version: 2, events: events[150:]},
+	}
+	frame := appendTickFrame(nil, 5, ticks, partOf)
+	prune, got, err := decodeTickFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prune != 5 || len(got) != len(ticks) {
+		t.Fatalf("prune=%d nTicks=%d, want 5 and %d", prune, len(got), len(ticks))
+	}
+	for i, dt := range got {
+		if dt.tick != ticks[i].tick || dt.version != ticks[i].version {
+			t.Fatalf("tick %d header %d/v%d, want %d/v%d", i, dt.tick, dt.version, ticks[i].tick, ticks[i].version)
+		}
+		if len(dt.events) != len(ticks[i].events) {
+			t.Fatalf("tick %d: %d events, want %d", i, len(dt.events), len(ticks[i].events))
+		}
+		for j := range dt.events {
+			if dt.events[j] != ticks[i].events[j] {
+				t.Fatalf("tick %d event %d diverged", i, j)
+			}
+			if dt.parts[j] != partOf(dt.events[j].DIMM) {
+				t.Fatalf("tick %d event %d part %q, want %q", i, j, dt.parts[j], partOf(dt.events[j].DIMM))
+			}
+		}
+	}
+
+	// Non-ascending tick indices are a protocol violation.
+	if _, _, err := decodeTickFrame(appendTickFrame(nil, 0, []wireTick{
+		{tick: 9, version: 1}, {tick: 7, version: 1},
+	}, partOf)); err == nil {
+		t.Fatal("descending tick indices accepted")
+	}
+
+	idx := []int{7, 9, 12}
+	pages := [][]mlops.Alarm{randAlarms(rng, 5), nil, randAlarms(rng, 3)}
+	resp := appendRespFrame(nil, idx, pages)
+	byTick, err := decodeRespFrame(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byTick) != 3 {
+		t.Fatalf("%d response ticks, want 3", len(byTick))
+	}
+	for i, tk := range idx {
+		as := byTick[tk]
+		if len(as) != len(pages[i]) {
+			t.Fatalf("tick %d: %d alarms, want %d", tk, len(as), len(pages[i]))
+		}
+		for j := range as {
+			if as[j] != pages[i][j] {
+				t.Fatalf("tick %d alarm %d diverged", tk, j)
+			}
+		}
+	}
+}

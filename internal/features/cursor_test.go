@@ -181,7 +181,7 @@ func naiveExtract(x *Extractor, l *trace.DIMMLog, t trace.Minutes) []float64 {
 		next(0)
 	}
 	next(float64(maxBits))
-	domDQ, domBeat, domDQI, domBI := dominantSig(windowCEs)
+	domDQ, domBeat, domDQI, domBI := trace.DominantSignature(windowCEs)
 	next(float64(domDQ))
 	next(float64(domBeat))
 	next(float64(domDQI))

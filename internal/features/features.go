@@ -137,6 +137,104 @@ type Cursor struct {
 	// Lifetime accumulators over the fold seed plus ces[:pos].
 	firstCE, lastCE trace.Minutes
 	life            *analysis.Incremental
+
+	// Sliding observation-window state over ces[winStart:pos]: the §V
+	// classification and the per-day CE tallies, folded in as events enter
+	// the window and folded out as they expire past t−Δtd — so the
+	// window-bounded features cost O(events entering + leaving) per
+	// instant instead of a rebuild over the whole window.
+	winStart int
+	win      *analysis.Sliding
+	dayCEs   map[trace.Minutes]int
+	bits     winBits
+}
+
+// winBits maintains the window's bit-level signature statistics under the
+// same enter/expire discipline: per-event mask decompositions happen once
+// on entry and once on expiry, and the dominant signature reduces to an
+// argmax over the (few) distinct tuples present instead of a rescan.
+type winBits struct {
+	nBits, dq1, dq2, dq4, dq3p, beat2, beat5, bint4, sumBits int
+	bitCounts                                                [65]int // histogram over BitCount (mask is 64-bit)
+	sigs                                                     map[trace.Signature]int
+}
+
+func (w *winBits) add(e trace.Event) {
+	s, ok := e.Signature()
+	if !ok {
+		return
+	}
+	w.nBits++
+	switch s.DQ {
+	case 1:
+		w.dq1++
+	case 2:
+		w.dq2++
+	case 4:
+		w.dq4++
+	}
+	if s.DQ >= 3 {
+		w.dq3p++
+	}
+	if s.Beat == 2 {
+		w.beat2++
+	}
+	if s.Beat == 5 {
+		w.beat5++
+	}
+	if s.BI == 4 {
+		w.bint4++
+	}
+	b := e.Bits.BitCount()
+	w.sumBits += b
+	w.bitCounts[b]++
+	w.sigs[s]++
+}
+
+func (w *winBits) remove(e trace.Event) {
+	s, ok := e.Signature()
+	if !ok {
+		return
+	}
+	w.nBits--
+	switch s.DQ {
+	case 1:
+		w.dq1--
+	case 2:
+		w.dq2--
+	case 4:
+		w.dq4--
+	}
+	if s.DQ >= 3 {
+		w.dq3p--
+	}
+	if s.Beat == 2 {
+		w.beat2--
+	}
+	if s.Beat == 5 {
+		w.beat5--
+	}
+	if s.BI == 4 {
+		w.bint4--
+	}
+	b := e.Bits.BitCount()
+	w.sumBits -= b
+	w.bitCounts[b]--
+	if w.sigs[s] == 1 {
+		delete(w.sigs, s)
+	} else {
+		w.sigs[s]--
+	}
+}
+
+// maxBits returns the largest per-event bit count in the window.
+func (w *winBits) maxBits() int {
+	for b := 64; b > 0; b-- {
+		if w.bitCounts[b] > 0 {
+			return b
+		}
+	}
+	return 0
 }
 
 // NewCursor starts an extraction pass over l from the beginning of its
@@ -153,7 +251,10 @@ func (x *Extractor) NewCursor(l *trace.DIMMLog) *Cursor {
 		firstCE: -1,
 		lastCE:  -1,
 		life:    analysis.NewIncremental(x.Thresholds),
+		win:     analysis.NewSliding(x.Thresholds),
+		dayCEs:  map[trace.Minutes]int{},
 	}
+	c.bits.sigs = map[trace.Signature]int{}
 	if fs, ok := l.FoldState().(*FoldState); ok && fs != nil {
 		c.ceBase, c.stormBase = fs.ces, fs.storms
 		if fs.hasCE {
@@ -164,7 +265,8 @@ func (x *Extractor) NewCursor(l *trace.DIMMLog) *Cursor {
 	return c
 }
 
-// advance consumes events up to and including instant t.
+// advance consumes events up to and including instant t, and expires
+// window state for events that fell out of [t−Δtd, t].
 func (c *Cursor) advance(t trace.Minutes) {
 	for c.pos < len(c.ces) && c.ces[c.pos].Time <= t {
 		e := c.ces[c.pos]
@@ -173,7 +275,20 @@ func (c *Cursor) advance(t trace.Minutes) {
 		}
 		c.lastCE = e.Time
 		c.life.Add(e)
+		c.win.Add(e)
+		c.bits.add(e)
+		c.dayCEs[e.Time/trace.Day]++
 		c.pos++
+	}
+	for from := t - c.x.Windows.Observation; c.winStart < c.pos && c.ces[c.winStart].Time < from; c.winStart++ {
+		e := c.ces[c.winStart]
+		c.win.Remove(e)
+		c.bits.remove(e)
+		if day := e.Time / trace.Day; c.dayCEs[day] == 1 {
+			delete(c.dayCEs, day)
+		} else {
+			c.dayCEs[day]--
+		}
 	}
 	for c.stormPos < len(c.storms) && c.storms[c.stormPos] <= t {
 		c.stormPos++
@@ -194,18 +309,12 @@ func (c *Cursor) ExtractAt(t trace.Minutes) []float64 {
 	f := make([]float64, Dim())
 	w := x.Windows.Observation
 
-	ce5dStart := sort.Search(c.pos, func(i int) bool { return c.ces[i].Time >= t-w })
-	windowCEs := c.ces[ce5dStart:c.pos]
+	windowCEs := c.ces[c.winStart:c.pos]
 	ce5d := len(windowCEs)
 	ceTotal := c.ceBase + c.pos
 
 	stormsTotal := c.stormBase + c.stormPos
 	storms5d := c.stormPos - sort.Search(c.stormPos, func(i int) bool { return c.storms[i] >= t-w })
-
-	activeDays := map[trace.Minutes]struct{}{}
-	for _, e := range windowCEs {
-		activeDays[e.Time/trace.Day] = struct{}{}
-	}
 
 	i := 0
 	next := func(v float64) { f[i] = v; i++ }
@@ -232,9 +341,9 @@ func (c *Cursor) ExtractAt(t trace.Minutes) []float64 {
 		next(-1)
 		next(-1)
 	}
-	next(float64(len(activeDays)))
+	next(float64(len(c.dayCEs)))
 
-	clsW := analysis.Classify(windowCEs, x.Thresholds)
+	clsW := c.win.Class()
 	next(float64(clsW.FaultyCells))
 	next(float64(clsW.FaultyRows))
 	next(float64(clsW.FaultyCols))
@@ -255,64 +364,31 @@ func (c *Cursor) ExtractAt(t trace.Minutes) []float64 {
 	next(float64(c.life.DistinctCols()))
 	next(float64(c.life.MaxCellCEs()))
 
-	var nBits, dq1, dq2, dq4, dq3p, beat2, beat5, bint4, sumBits, maxBits int
-	for _, e := range windowCEs {
-		if e.Bits.IsZero() {
-			continue
-		}
-		nBits++
-		dq := e.Bits.DQCount()
-		bc := e.Bits.BeatCount()
-		switch {
-		case dq == 1:
-			dq1++
-		case dq == 2:
-			dq2++
-		case dq == 4:
-			dq4++
-		}
-		if dq >= 3 {
-			dq3p++
-		}
-		if bc == 2 {
-			beat2++
-		}
-		if bc == 5 {
-			beat5++
-		}
-		if e.Bits.BeatInterval() == 4 {
-			bint4++
-		}
-		b := e.Bits.BitCount()
-		sumBits += b
-		if b > maxBits {
-			maxBits = b
-		}
-	}
+	wb := &c.bits
 	frac := func(n int) float64 {
-		if nBits == 0 {
+		if wb.nBits == 0 {
 			return 0
 		}
-		return float64(n) / float64(nBits)
+		return float64(n) / float64(wb.nBits)
 	}
-	next(frac(dq1))
-	next(frac(dq2))
-	next(frac(dq4))
-	next(frac(dq3p))
-	next(frac(beat2))
-	next(frac(beat5))
-	next(frac(bint4))
-	if nBits > 0 {
-		next(float64(sumBits) / float64(nBits))
+	next(frac(wb.dq1))
+	next(frac(wb.dq2))
+	next(frac(wb.dq4))
+	next(frac(wb.dq3p))
+	next(frac(wb.beat2))
+	next(frac(wb.beat5))
+	next(frac(wb.bint4))
+	if wb.nBits > 0 {
+		next(float64(wb.sumBits) / float64(wb.nBits))
 	} else {
 		next(0)
 	}
-	next(float64(maxBits))
-	domDQ, domBeat, domDQI, domBI := dominantSig(windowCEs)
-	next(float64(domDQ))
-	next(float64(domBeat))
-	next(float64(domDQI))
-	next(float64(domBI))
+	next(float64(wb.maxBits()))
+	dom := trace.DominantOf(wb.sigs)
+	next(float64(dom.DQ))
+	next(float64(dom.Beat))
+	next(float64(dom.DQI))
+	next(float64(dom.BI))
 
 	next(boolf(l.Part.Manufacturer == platform.VendorA))
 	next(boolf(l.Part.Manufacturer == platform.VendorB))
@@ -357,10 +433,4 @@ func boolf(b bool) float64 {
 		return 1
 	}
 	return 0
-}
-
-// dominantSig is trace.DominantSignature over the observation window —
-// the same tie-break the Figure 5 analysis uses.
-func dominantSig(ces []trace.Event) (dq, beat, dqi, bi int) {
-	return trace.DominantSignature(ces)
 }

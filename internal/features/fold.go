@@ -41,6 +41,31 @@ func (fs *FoldState) fold(e trace.Event) {
 // serving-side memory accounting.
 func (fs *FoldState) MemEstimate() int64 { return 64 + fs.life.MemEstimate() }
 
+// AppendBinary serializes the fold state onto w, for serving-state
+// checkpoints and disk spill. Deterministic for equal state.
+func (fs *FoldState) AppendBinary(w *trace.BinWriter) {
+	w.Varint(int64(fs.ces))
+	w.Varint(int64(fs.storms))
+	w.Bool(fs.hasCE)
+	w.Varint(int64(fs.firstCE))
+	w.Varint(int64(fs.lastCE))
+	fs.life.AppendBinary(w)
+}
+
+// DecodeFoldState reads a fold state serialized by AppendBinary. Errors
+// latch on r; the caller checks r.Err().
+func DecodeFoldState(r *trace.BinReader) *FoldState {
+	fs := &FoldState{
+		ces:     int(r.Varint()),
+		storms:  int(r.Varint()),
+		hasCE:   r.Bool(),
+		firstCE: trace.Minutes(r.Varint()),
+		lastCE:  trace.Minutes(r.Varint()),
+	}
+	fs.life = analysis.DecodeIncremental(r)
+	return fs
+}
+
 // CompactLog drops the log's events before cut (trace.DIMMLog.
 // CompactBefore), folding them into the log's FoldState so feature
 // extraction over the compacted log stays exact. It returns the number of

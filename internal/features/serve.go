@@ -79,7 +79,10 @@ func (c *Cursor) refresh() {
 // serving-side memory accounting. The per-type views are shared with the
 // log's index and not counted; the dominant owned state is the lifetime
 // fault-analysis accumulators.
-func (c *Cursor) MemEstimate() int64 { return 128 + c.life.MemEstimate() }
+func (c *Cursor) MemEstimate() int64 {
+	return 128 + c.life.MemEstimate() + c.win.MemEstimate() +
+		int64(len(c.dayCEs))*24 + 520 + int64(len(c.bits.sigs))*48
+}
 
 // MemEstimate returns a rough heap-footprint estimate in bytes of the
 // cursor's owned state (see Cursor.MemEstimate).

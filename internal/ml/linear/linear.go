@@ -101,17 +101,34 @@ func (m *Model) dot(z []float64) float64 {
 	return s
 }
 
-// PredictProba returns the class-1 probability for one raw sample.
-func (m *Model) PredictProba(x []float64) float64 {
-	return m.PredictBatch([][]float64{x})[0]
+// score standardizes and dots one raw sample without materializing the
+// scaled copy. Each scaled value is rounded through an explicit float64
+// temporary, so the sum is bit-identical to dot(Scaler.Transform(x)) —
+// the serving stack's determinism invariant rides on that.
+func (m *Model) score(x []float64) float64 {
+	if len(m.Scaler.Mean) == 0 {
+		return m.dot(x)
+	}
+	s := m.B
+	for j, w := range m.W {
+		z := (x[j] - m.Scaler.Mean[j]) / m.Scaler.Std[j]
+		s += w * z
+	}
+	return s
 }
 
-// PredictBatch scores many samples.
+// PredictProba returns the class-1 probability for one raw sample.
+func (m *Model) PredictProba(x []float64) float64 {
+	return sigmoid(m.score(x))
+}
+
+// PredictBatch scores many samples. The hot serving path scores every due
+// prediction of a tick through one call, so it avoids the per-row scaled
+// copies Transform would allocate.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
-	Z := m.Scaler.Transform(X)
-	out := make([]float64, len(Z))
-	for i, z := range Z {
-		out[i] = sigmoid(m.dot(z))
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = sigmoid(m.score(x))
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package mlops
 
 import (
 	"container/list"
-	"encoding/binary"
 	"fmt"
 	"reflect"
 
@@ -74,69 +73,66 @@ type frozenDIMM struct {
 	alarmed   bool
 
 	bytes int64 // accounted resident size
+
+	// spilled marks a stub whose record lives in Server.Spill rather
+	// than on the heap; spillBytes is the stored record's size.
+	spilled    bool
+	spillBytes int64
 }
 
 // encodeEvents serializes a time-sorted event slice with delta-coded
-// times. The DIMM identity is implicit (one blob per DIMM).
+// times on the shared trace.BinWriter primitives. The DIMM identity is
+// implicit (one blob per DIMM), so unlike the wire event frame no string
+// table is needed.
 func encodeEvents(events []trace.Event) []byte {
-	buf := make([]byte, 0, 8*len(events))
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v int64) {
-		n := binary.PutVarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
-	}
-	putU := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
-	}
+	w := trace.BinWriter{Buf: make([]byte, 0, 8*len(events))}
 	var prev trace.Minutes
 	for _, e := range events {
-		putU(uint64(e.Time - prev))
+		w.Uvarint(uint64(e.Time - prev))
 		prev = e.Time
-		buf = append(buf, byte(e.Type))
-		put(int64(e.Addr.Rank))
-		put(int64(e.Addr.Device))
-		put(int64(e.Addr.Bank))
-		put(int64(e.Addr.Row))
-		put(int64(e.Addr.Column))
-		put(int64(e.Bits.Width))
-		putU(e.Bits.Mask)
+		w.Byte(byte(e.Type))
+		w.Varint(int64(e.Addr.Rank))
+		w.Varint(int64(e.Addr.Device))
+		w.Varint(int64(e.Addr.Bank))
+		w.Varint(int64(e.Addr.Row))
+		w.Varint(int64(e.Addr.Column))
+		w.Varint(int64(e.Bits.Width))
+		w.Uvarint(e.Bits.Mask)
 	}
-	return buf
+	return w.Buf
 }
 
 // decodeEvents rebuilds the event slice of one frozen DIMM.
 func decodeEvents(blob []byte, n int, id trace.DIMMID) ([]trace.Event, error) {
-	events := make([]trace.Event, 0, n)
-	pos := 0
-	get := func() int64 {
-		v, k := binary.Varint(blob[pos:])
-		pos += k
-		return v
+	r := trace.NewBinReader(blob)
+	events, err := readEvents(r, n, id)
+	if err != nil {
+		return nil, fmt.Errorf("mlops: corrupt frozen blob for %s: %w", id, err)
 	}
+	return events, nil
+}
+
+// readEvents decodes n freeze-coded events from r (the tail of a frozen
+// blob or an embedded snapshot record).
+func readEvents(r *trace.BinReader, n int, id trace.DIMMID) ([]trace.Event, error) {
+	events := make([]trace.Event, 0, n)
 	var prev trace.Minutes
-	for i := 0; i < n; i++ {
-		dt, k := binary.Uvarint(blob[pos:])
-		if k <= 0 || pos+k >= len(blob) {
-			return nil, fmt.Errorf("mlops: corrupt frozen blob for %s (event %d/%d)", id, i, n)
-		}
-		pos += k
-		e := trace.Event{Time: prev + trace.Minutes(dt), Type: trace.EventType(blob[pos]), DIMM: id}
-		pos++
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := trace.Event{DIMM: id}
+		e.Time = prev + trace.Minutes(r.Uvarint())
 		prev = e.Time
-		e.Addr.Rank = int(get())
-		e.Addr.Device = int(get())
-		e.Addr.Bank = int(get())
-		e.Addr.Row = int(get())
-		e.Addr.Column = int(get())
-		e.Bits.Width = dram.Width(get())
-		mask, k := binary.Uvarint(blob[pos:])
-		if k <= 0 {
-			return nil, fmt.Errorf("mlops: corrupt frozen blob for %s (event %d/%d)", id, i, n)
-		}
-		pos += k
-		e.Bits.Mask = mask
+		e.Type = trace.EventType(r.Byte())
+		e.Addr.Rank = int(r.Varint())
+		e.Addr.Device = int(r.Varint())
+		e.Addr.Bank = int(r.Varint())
+		e.Addr.Row = int(r.Varint())
+		e.Addr.Column = int(r.Varint())
+		e.Bits.Width = dram.Width(r.Varint())
+		e.Bits.Mask = r.Uvarint()
 		events = append(events, e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	return events, nil
 }
@@ -192,10 +188,11 @@ func (sh *shard) account(st *dimmState) {
 	}
 }
 
-// releaseLocked drops every trace of one DIMM's serving state — live and
-// frozen — returning its bytes to the shard. Used by streaming replay
-// (state is final once a DIMM's log has drained) and ReplaceDIMM.
-func (sh *shard) releaseLocked(id trace.DIMMID) {
+// releaseLocked drops every trace of one DIMM's serving state — live,
+// frozen, and spilled — returning its bytes to the shard. Used by
+// streaming replay (state is final once a DIMM's log has drained) and
+// ReplaceDIMM.
+func (s *Server) releaseLocked(sh *shard, id trace.DIMMID) {
 	if st, ok := sh.dimms[id]; ok {
 		sh.resident -= st.bytes
 		if st.lruEl != nil {
@@ -206,6 +203,10 @@ func (sh *shard) releaseLocked(id trace.DIMMID) {
 	}
 	if fz, ok := sh.frozen[id]; ok {
 		sh.resident -= fz.bytes
+		if fz.spilled && s.Spill != nil {
+			s.Spill.Delete(spillDIMMKey(id))
+			s.spilledBytes.Add(-fz.spillBytes)
+		}
 		delete(sh.frozen, id)
 	}
 }
@@ -282,10 +283,18 @@ func (s *Server) maybeEvict(sh *shard, now trace.Minutes) {
 	}
 }
 
-// freezeLocked evicts one resident DIMM. Shard lock held.
+// freezeLocked evicts one resident DIMM. With a spill store configured
+// the frozen record leaves the heap entirely — only a fixed-size stub
+// stays resident — so the budget bounds total process memory. A failed
+// spill falls back to the in-memory frozen form. Shard lock held.
 func (s *Server) freezeLocked(sh *shard, st *dimmState) {
 	fz := freezeDIMM(st)
 	id := st.log.ID
+	if s.Spill != nil {
+		if stub, err := s.spillRec(id, fz); err == nil {
+			fz = stub
+		}
+	}
 	sh.resident += fz.bytes - st.bytes
 	if st.lruEl != nil {
 		sh.lru.Remove(st.lruEl)
@@ -299,8 +308,57 @@ func (s *Server) freezeLocked(sh *shard, st *dimmState) {
 	}
 }
 
+// spillRec writes one frozen record to the spill store and returns the
+// on-heap stub standing in for it.
+func (s *Server) spillRec(id trace.DIMMID, fz *frozenDIMM) (*frozenDIMM, error) {
+	var w trace.BinWriter
+	if err := appendFrozenRec(&w, id, fz); err != nil {
+		return nil, err
+	}
+	if err := s.Spill.Put(spillDIMMKey(id), w.Buf); err != nil {
+		return nil, err
+	}
+	n := int64(len(w.Buf))
+	s.spills.Add(1)
+	s.spilledBytes.Add(n)
+	return &frozenDIMM{part: fz.part, spilled: true, spillBytes: n, bytes: frozenBase}, nil
+}
+
+// unspillLocked reads a spilled record back into its in-memory frozen
+// form. With remove set the stored blob is deleted and the spilled-bytes
+// gauge credited (the thaw path); snapshotting reads without removing.
+// Shard lock held.
+func (s *Server) unspillLocked(id trace.DIMMID, fz *frozenDIMM, remove bool) (*frozenDIMM, error) {
+	data, err := s.Spill.Get(spillDIMMKey(id))
+	if err != nil {
+		return nil, fmt.Errorf("mlops: unspill %s: %w", id, err)
+	}
+	gotID, real, err := decodeFrozenRec(trace.NewBinReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("mlops: unspill %s: %w", id, err)
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("mlops: spill record for %s found under key of %s", gotID, id)
+	}
+	if remove {
+		s.Spill.Delete(spillDIMMKey(id))
+		s.spilledBytes.Add(-fz.spillBytes)
+	}
+	return real, nil
+}
+
 // thawLocked rehydrates a frozen DIMM for its next event. Shard lock held.
 func (s *Server) thawLocked(sh *shard, id trace.DIMMID, fz *frozenDIMM) (*dimmState, error) {
+	if fz.spilled {
+		real, err := s.unspillLocked(id, fz, true)
+		if err != nil {
+			return nil, err
+		}
+		// The shard accounted the stub's size; carry it into the release
+		// arithmetic below so resident balances exactly.
+		real.bytes = fz.bytes
+		fz = real
+	}
 	st, err := fz.thaw(id)
 	if err != nil {
 		return nil, err
@@ -330,6 +388,11 @@ type MemoryStats struct {
 	Rehydrations    int64
 	Compactions     int64
 	CompactedEvents int64
+
+	// Spill accounting (zero without a SpillStore): bytes currently in
+	// the store and the lifetime count of records written to it.
+	SpilledBytes int64
+	Spills       int64
 }
 
 // MemoryStats sums the shards' accounting (and mirrors the resident gauge
@@ -340,6 +403,8 @@ func (s *Server) MemoryStats() MemoryStats {
 		Rehydrations:    s.rehydrations.Load(),
 		Compactions:     s.compactions.Load(),
 		CompactedEvents: s.compactedEvents.Load(),
+		SpilledBytes:    s.spilledBytes.Load(),
+		Spills:          s.spills.Load(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()

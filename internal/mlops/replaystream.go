@@ -151,6 +151,6 @@ func (s *Server) serveStreamDIMM(ctx context.Context, sh *shard, l *trace.DIMMLo
 	if ferr := s.flushPending(&pend, &out); ferr != nil && err == nil {
 		err = ferr
 	}
-	sh.releaseLocked(l.ID)
+	s.releaseLocked(sh, l.ID)
 	return out, err
 }

@@ -88,6 +88,12 @@ type Server struct {
 	// RetainWindow is the per-DIMM history kept past compaction, floored
 	// at the feature store's observation window (0 = exactly that window).
 	RetainWindow trace.Minutes
+	// Spill optionally backs frozen-DIMM state with off-heap storage
+	// (NewDirSpill for disk). Frozen records are written to the store and
+	// only a fixed-size stub stays on the heap, so MemoryBudget bounds
+	// total process memory rather than just live serving state. Set
+	// before serving begins; nil keeps frozen blobs in memory.
+	Spill SpillStore
 
 	shards  []*shard
 	monitor *Monitor
@@ -96,6 +102,7 @@ type Server struct {
 	// Memory-policy counters (see MemoryStats).
 	evictions, rehydrations      atomic.Int64
 	compactions, compactedEvents atomic.Int64
+	spills, spilledBytes         atomic.Int64
 
 	// Maintenance state: while paused, IngestBatch queues events in
 	// arrival order instead of serving them; Resume drains the queue
@@ -241,7 +248,7 @@ func (s *Server) ReplaceDIMM(id trace.DIMMID, part platform.DIMMPart) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.releaseLocked(id) // retires live or frozen state of the old module
+	s.releaseLocked(sh, id) // retires live or frozen state of the old module
 	st := &dimmState{log: &trace.DIMMLog{ID: id, Part: part}}
 	sh.dimms[id] = st
 	if s.MemoryBudget > 0 {

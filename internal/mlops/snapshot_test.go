@@ -1,0 +1,150 @@
+package mlops
+
+import (
+	"testing"
+
+	"memfp/internal/trace"
+)
+
+// snapshotStream flattens the fixture store into one time-sorted stream.
+func snapshotStream(t *testing.T) (*Pipeline, []trace.Event, func(s *Server)) {
+	t.Helper()
+	pipe, res := trainedPipeline(t)
+	var stream []trace.Event
+	for _, l := range res.Store.DIMMs() {
+		stream = append(stream, l.Events...)
+	}
+	sortSlice(stream, func(a, b trace.Event) bool { return trace.ByTime{a, b}.Less(0, 1) })
+	register := func(s *Server) {
+		for _, l := range res.Store.DIMMs() {
+			s.RegisterDIMM(l.ID, l.Part)
+		}
+	}
+	return pipe, stream, register
+}
+
+// ingestChunks feeds a stream through IngestBatch in fixed chunks.
+func ingestChunks(t *testing.T, s *Server, stream []trace.Event) []Alarm {
+	t.Helper()
+	var alarms []Alarm
+	for i := 0; i < len(stream); i += 97 {
+		j := min(i+97, len(stream))
+		as, err := s.IngestBatch(stream[i:j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarms = append(alarms, as...)
+	}
+	return alarms
+}
+
+// TestSnapshotRestoreTransparent cuts a serving run in half at a
+// snapshot: engine A serves the first half, its snapshot restores into a
+// fresh engine B that serves the second half, and the concatenated alarm
+// streams must equal one uninterrupted run — bounded and unbounded, with
+// and without a spill store underneath the budget.
+func TestSnapshotRestoreTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	pipe, stream, register := snapshotStream(t)
+
+	build := func(budget int64, spill SpillStore) *Server {
+		s := NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, 4)
+		s.MemoryBudget = budget
+		s.Spill = spill
+		register(s)
+		return s
+	}
+
+	ref := build(0, nil)
+	want := ingestChunks(t, ref, stream)
+	if len(want) == 0 {
+		t.Fatal("no alarms; fixture proves nothing")
+	}
+
+	for _, tc := range []struct {
+		name   string
+		budget int64
+		spill  func() SpillStore
+	}{
+		{"unbounded", 0, func() SpillStore { return nil }},
+		{"bounded", 64 << 10, func() SpillStore { return nil }},
+		{"bounded-spill", 64 << 10, func() SpillStore { return NewMemSpill() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cut := len(stream) / 2
+			a := build(tc.budget, tc.spill())
+			got := ingestChunks(t, a, stream[:cut])
+			blob, err := a.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Determinism: snapshotting quiescent state twice yields the
+			// same bytes.
+			blob2, err := a.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(blob) != string(blob2) {
+				t.Fatal("snapshot encoding is not deterministic")
+			}
+			b := build(tc.budget, tc.spill())
+			if err := b.RestoreSnapshot(blob); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, ingestChunks(t, b, stream[cut:])...)
+			if len(got) != len(want) {
+				t.Fatalf("%d alarms across snapshot cut, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("alarm %d differs across snapshot cut:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSpillBoundedIngest runs the bounded eviction churn of
+// TestEvictionTransparent with a disk-backed spill store: the alarm
+// stream must stay byte-identical while frozen records actually leave
+// the heap (spill counters move, and thaws read records back).
+func TestSpillBoundedIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model on a generated fleet")
+	}
+	pipe, stream, register := snapshotStream(t)
+
+	run := func(budget int64, spill SpillStore) ([]Alarm, MemoryStats) {
+		s := NewShardedServer(pipe.Platform, pipe.Features, pipe.Registry, pipe.ModelName, nil, 4)
+		s.MemoryBudget = budget
+		s.Spill = spill
+		register(s)
+		return ingestChunks(t, s, stream), s.MemoryStats()
+	}
+
+	want, _ := run(0, nil)
+	if len(want) == 0 {
+		t.Fatal("no alarms; fixture proves nothing")
+	}
+	spill, err := NewDirSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ms := run(64<<10, spill)
+	if ms.Spills == 0 {
+		t.Fatalf("spill never exercised (evictions=%d)", ms.Evictions)
+	}
+	if ms.SpilledBytes < 0 {
+		t.Fatalf("spilled-bytes gauge went negative: %d", ms.SpilledBytes)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d alarms with disk spill, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alarm %d differs with disk spill:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}

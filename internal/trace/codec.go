@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+)
+
+// Binary codec primitives and the versioned event-frame format. The text
+// log codec (log.go) remains the human-readable interchange form and the
+// equivalence oracle; this file provides the compact wire form the
+// control plane and node daemons exchange on the hot path, built from the
+// same varint + delta-time primitives the serving engine's frozen-DIMM
+// snapshots use (internal/mlops eviction blobs ride on BinWriter too).
+//
+// One frame holds one batch of events:
+//
+//	"MFE1"                          frame magic + version
+//	uvarint nStrings                interned platform IDs and part numbers
+//	nStrings × (uvarint len, bytes)
+//	uvarint nEvents
+//	per event:
+//	  varint  Δtime                 signed — arrival order, not sorted order
+//	  byte    type                  CE=0, UE=1, CE_STORM=2
+//	  uvarint platform string index
+//	  varint  server
+//	  varint  slot
+//	  uvarint part-number string index
+//	  CE/UE:  varint rank, dev, bank, row, col
+//	  CE:     varint bits-width, uvarint bits-mask
+//
+// Unlike the text form, CE bit signatures carry their device width
+// inline, so decoding needs no part-catalog lookup. Scores elsewhere in
+// the wire protocol travel as raw float64 bits (BinWriter.Float64), never
+// through a decimal rendering, preserving byte-level equality.
+
+// BinWriter appends varint-coded primitives to a byte buffer. The zero
+// value is ready to use; Buf may be pre-allocated or recycled by the
+// caller for pooling.
+type BinWriter struct {
+	Buf []byte
+}
+
+// Uvarint appends an unsigned varint.
+func (w *BinWriter) Uvarint(v uint64) {
+	w.Buf = binary.AppendUvarint(w.Buf, v)
+}
+
+// Varint appends a signed (zigzag) varint.
+func (w *BinWriter) Varint(v int64) {
+	w.Buf = binary.AppendVarint(w.Buf, v)
+}
+
+// Byte appends one raw byte.
+func (w *BinWriter) Byte(b byte) { w.Buf = append(w.Buf, b) }
+
+// Bool appends a bool as one byte.
+func (w *BinWriter) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Raw appends bytes with no length prefix.
+func (w *BinWriter) Raw(p []byte) { w.Buf = append(w.Buf, p...) }
+
+// Bytes appends a uvarint length prefix followed by the bytes.
+func (w *BinWriter) Bytes(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.Raw(p)
+}
+
+// String appends a uvarint length prefix followed by the string bytes.
+func (w *BinWriter) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.Buf = append(w.Buf, s...)
+}
+
+// Float64 appends the raw IEEE-754 bits, little-endian. Exact: no
+// decimal rendering can perturb the value.
+func (w *BinWriter) Float64(f float64) {
+	w.Buf = binary.LittleEndian.AppendUint64(w.Buf, math.Float64bits(f))
+}
+
+// BinReader consumes primitives written by BinWriter. Errors latch: after
+// the first malformed or truncated read every subsequent read returns a
+// zero value, so decode loops can run unchecked and test Err once at the
+// end.
+type BinReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewBinReader returns a reader over data.
+func NewBinReader(data []byte) *BinReader { return &BinReader{data: data} }
+
+// Err returns the first decode error, or nil.
+func (r *BinReader) Err() error { return r.err }
+
+// Failf latches a caller-detected validation error (first error wins).
+func (r *BinReader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *BinReader) Remaining() int { return len(r.data) - r.pos }
+
+// Uvarint reads an unsigned varint.
+func (r *BinReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.Failf("trace: truncated uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *BinReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.Failf("trace: truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *BinReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.Failf("trace: truncated byte at offset %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// Bool reads a bool byte.
+func (r *BinReader) Bool() bool { return r.Byte() != 0 }
+
+// Raw reads n bytes without copying; the result aliases the input.
+func (r *BinReader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.Failf("trace: truncated raw read of %d bytes at offset %d", n, r.pos)
+		return nil
+	}
+	p := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return p
+}
+
+// Bytes reads a length-prefixed byte slice (aliasing the input).
+func (r *BinReader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err == nil && n > uint64(r.Remaining()) {
+		r.Failf("trace: length prefix %d exceeds %d remaining bytes", n, r.Remaining())
+		return nil
+	}
+	return r.Raw(int(n))
+}
+
+// String reads a length-prefixed string.
+func (r *BinReader) String() string { return string(r.Bytes()) }
+
+// Float64 reads raw IEEE-754 bits, little-endian.
+func (r *BinReader) Float64() float64 {
+	p := r.Raw(8)
+	if p == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(p))
+}
+
+// eventFrameMagic versions the binary event-batch frame.
+const eventFrameMagic = "MFE1"
+
+// stringTable interns strings for one frame, assigning indices in first-
+// appearance order.
+type stringTable struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func (t *stringTable) ref(s string) uint64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	if t.idx == nil {
+		t.idx = map[string]uint64{}
+	}
+	i := uint64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// AppendEventFrame encodes a batch of events into dst (which may be nil
+// or a recycled buffer) and returns the extended buffer. partOf resolves
+// each event's DIMM to the part number recorded alongside it, exactly as
+// the text log lines do.
+func AppendEventFrame(dst []byte, events []Event, partOf func(DIMMID) string) []byte {
+	var tab stringTable
+	// Body first: interning assigns string indices as events are walked,
+	// and the table must precede the events on the wire.
+	body := BinWriter{Buf: make([]byte, 0, 8+6*len(events))}
+	body.Uvarint(uint64(len(events)))
+	var prev Minutes
+	for _, e := range events {
+		body.Varint(int64(e.Time - prev))
+		prev = e.Time
+		body.Byte(byte(e.Type))
+		body.Uvarint(tab.ref(string(e.DIMM.Platform)))
+		body.Varint(int64(e.DIMM.Server))
+		body.Varint(int64(e.DIMM.Slot))
+		body.Uvarint(tab.ref(partOf(e.DIMM)))
+		if e.Type == TypeCE || e.Type == TypeUE {
+			body.Varint(int64(e.Addr.Rank))
+			body.Varint(int64(e.Addr.Device))
+			body.Varint(int64(e.Addr.Bank))
+			body.Varint(int64(e.Addr.Row))
+			body.Varint(int64(e.Addr.Column))
+		}
+		if e.Type == TypeCE {
+			body.Varint(int64(e.Bits.Width))
+			body.Uvarint(e.Bits.Mask)
+		}
+	}
+	w := BinWriter{Buf: dst}
+	w.Raw([]byte(eventFrameMagic))
+	w.Uvarint(uint64(len(tab.list)))
+	for _, s := range tab.list {
+		w.String(s)
+	}
+	w.Raw(body.Buf)
+	return w.Buf
+}
+
+// DecodeEventFrame decodes a frame produced by AppendEventFrame. It
+// returns the events and, parallel to them, the part number recorded for
+// each event. Corrupt or truncated frames return an error, never panic.
+func DecodeEventFrame(data []byte) ([]Event, []string, error) {
+	r := NewBinReader(data)
+	if magic := r.Raw(len(eventFrameMagic)); r.Err() != nil || string(magic) != eventFrameMagic {
+		return nil, nil, fmt.Errorf("trace: not a %s event frame", eventFrameMagic)
+	}
+	nStr := r.Uvarint()
+	if nStr > uint64(r.Remaining()) {
+		return nil, nil, fmt.Errorf("trace: event frame declares %d strings in %d bytes", nStr, r.Remaining())
+	}
+	table := make([]string, 0, nStr)
+	for i := uint64(0); i < nStr && r.Err() == nil; i++ {
+		table = append(table, r.String())
+	}
+	n := r.Uvarint()
+	if n > uint64(r.Remaining()) {
+		return nil, nil, fmt.Errorf("trace: event frame declares %d events in %d bytes", n, r.Remaining())
+	}
+	ref := func() string {
+		i := r.Uvarint()
+		if r.Err() != nil {
+			return ""
+		}
+		if i >= uint64(len(table)) {
+			r.Failf("trace: event frame string index %d out of range (%d interned)", i, len(table))
+			return ""
+		}
+		return table[i]
+	}
+	events := make([]Event, 0, n)
+	parts := make([]string, 0, n)
+	var prev Minutes
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var e Event
+		e.Time = prev + Minutes(r.Varint())
+		prev = e.Time
+		switch t := r.Byte(); EventType(t) {
+		case TypeCE, TypeUE, TypeStorm:
+			e.Type = EventType(t)
+		default:
+			if r.Err() == nil {
+				r.Failf("trace: event frame has unknown event type %d", t)
+			}
+		}
+		e.DIMM.Platform = platform.ID(ref())
+		e.DIMM.Server = int(r.Varint())
+		e.DIMM.Slot = int(r.Varint())
+		part := ref()
+		if e.Type == TypeCE || e.Type == TypeUE {
+			e.Addr.Rank = int(r.Varint())
+			e.Addr.Device = int(r.Varint())
+			e.Addr.Bank = int(r.Varint())
+			e.Addr.Row = int(r.Varint())
+			e.Addr.Column = int(r.Varint())
+		}
+		if e.Type == TypeCE {
+			e.Bits.Width = dram.Width(r.Varint())
+			e.Bits.Mask = r.Uvarint()
+		}
+		events = append(events, e)
+		parts = append(parts, part)
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return events, parts, nil
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"memfp/internal/dram"
+	"memfp/internal/platform"
+)
+
+func TestBinPrimitivesRoundTrip(t *testing.T) {
+	var w BinWriter
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 12345)
+	w.Varint(-1 << 40)
+	w.Varint(42)
+	w.Byte(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("héllo wire")
+	w.Bytes([]byte{1, 2, 3})
+	w.Float64(math.Pi)
+	w.Float64(math.Copysign(0, -1)) // -0.0: raw-bits exactness
+
+	r := NewBinReader(w.Buf)
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint 0: got %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+12345 {
+		t.Fatalf("uvarint big: got %d", got)
+	}
+	if got := r.Varint(); got != -1<<40 {
+		t.Fatalf("varint neg: got %d", got)
+	}
+	if got := r.Varint(); got != 42 {
+		t.Fatalf("varint 42: got %d", got)
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Fatalf("byte: got %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools scrambled")
+	}
+	if got := r.String(); got != "héllo wire" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: got %v", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Fatalf("float: got %v", got)
+	}
+	if got := r.Float64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0.0 bits perturbed: got %x", math.Float64bits(got))
+	}
+	if r.Remaining() != 0 || r.Err() != nil {
+		t.Fatalf("remaining=%d err=%v", r.Remaining(), r.Err())
+	}
+	// Reads past the end latch an error and return zero values.
+	if got := r.Uvarint(); got != 0 || r.Err() == nil {
+		t.Fatal("read past end did not latch an error")
+	}
+}
+
+// randomEvents builds a batch of random events over real catalog parts,
+// so the text codec (which resolves bit widths through the catalog) can
+// serve as the oracle. Returns the events and each event's part number.
+func randomEvents(rng *rand.Rand, n int) ([]Event, []string) {
+	catalog := platform.Catalog()
+	platforms := platform.All()
+	events := make([]Event, 0, n)
+	parts := make([]string, 0, n)
+	tm := Minutes(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		part := catalog[rng.Intn(len(catalog))]
+		// Arrival order wanders: deltas may be negative.
+		tm += Minutes(rng.Intn(2000) - 200)
+		e := Event{
+			Time: tm,
+			Type: EventType(rng.Intn(3)),
+			DIMM: DIMMID{
+				Platform: platforms[rng.Intn(len(platforms))],
+				Server:   rng.Intn(100000),
+				Slot:     rng.Intn(24),
+			},
+		}
+		if e.Type == TypeCE || e.Type == TypeUE {
+			e.Addr = dram.Addr{
+				Rank:   rng.Intn(4),
+				Device: rng.Intn(18),
+				Bank:   rng.Intn(16),
+				Row:    rng.Intn(1 << 17),
+				Column: rng.Intn(1 << 10),
+			}
+		}
+		if e.Type == TypeCE {
+			e.Bits = dram.NewErrorBits(part.Width)
+			for b := 0; b < 1+rng.Intn(4); b++ {
+				e.Bits.Set(rng.Intn(int(part.Width)), rng.Intn(dram.BurstLength))
+			}
+		}
+		events = append(events, e)
+		parts = append(parts, part.PartNumber)
+	}
+	return events, parts
+}
+
+// TestEventFrameMatchesTextCodec is the equivalence oracle: over random
+// event batches, decoding the binary frame must yield exactly what
+// encoding and re-decoding the BMC text lines yields — same events, same
+// recorded part numbers.
+func TestEventFrameMatchesTextCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		events, parts := randomEvents(rng, rng.Intn(200))
+		partOf := map[DIMMID]string{}
+		for i, e := range events {
+			partOf[e.DIMM] = parts[i]
+		}
+		// A DIMM keeps one part; rewrite parts through the map so both
+		// codecs see a consistent assignment.
+		for i, e := range events {
+			parts[i] = partOf[e.DIMM]
+		}
+
+		frame := AppendEventFrame(nil, events, func(id DIMMID) string { return partOf[id] })
+		gotEvents, gotParts, err := DecodeEventFrame(frame)
+		if err != nil {
+			t.Fatalf("trial %d: decode frame: %v", trial, err)
+		}
+
+		for i, e := range events {
+			part, err := platform.PartByNumber(parts[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEvent, wantPart, err := DecodeEvent(EncodeEvent(e, part))
+			if err != nil {
+				t.Fatalf("trial %d: text oracle rejects event %d: %v", trial, i, err)
+			}
+			if gotEvents[i] != wantEvent {
+				t.Fatalf("trial %d event %d: binary %+v != text %+v", trial, i, gotEvents[i], wantEvent)
+			}
+			if gotParts[i] != wantPart {
+				t.Fatalf("trial %d event %d: part %q != %q", trial, i, gotParts[i], wantPart)
+			}
+		}
+		if len(gotEvents) != len(events) || len(gotParts) != len(parts) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+	}
+}
+
+// TestEventFrameRejectsCorruption truncates and mutates valid frames:
+// decoding must fail cleanly (or still parse, for bytes the codec never
+// reads back) — never panic.
+func TestEventFrameRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	events, parts := randomEvents(rng, 40)
+	partOf := map[DIMMID]string{}
+	for i, e := range events {
+		partOf[e.DIMM] = parts[i]
+	}
+	frame := AppendEventFrame(nil, events, func(id DIMMID) string { return partOf[id] })
+	if _, _, err := DecodeEventFrame(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for cut := 0; cut < len(frame); cut += 7 {
+		DecodeEventFrame(frame[:cut]) // must not panic; error expected but not required at every cut
+	}
+	for i := 0; i < len(frame); i += 3 {
+		mutated := bytes.Clone(frame)
+		mutated[i] ^= 0xFF
+		DecodeEventFrame(mutated) // must not panic
+	}
+	if _, _, err := DecodeEventFrame(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, _, err := DecodeEventFrame([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func FuzzDecodeEventFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	events, parts := randomEvents(rng, 25)
+	partOf := map[DIMMID]string{}
+	for i, e := range events {
+		partOf[e.DIMM] = parts[i]
+	}
+	f.Add(AppendEventFrame(nil, events, func(id DIMMID) string { return partOf[id] }))
+	f.Add([]byte(eventFrameMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, ps, err := DecodeEventFrame(data)
+		if err != nil {
+			return
+		}
+		if len(evs) != len(ps) {
+			t.Fatalf("events/parts length skew: %d vs %d", len(evs), len(ps))
+		}
+	})
+}

@@ -3,8 +3,9 @@
 # binary — once in-process, once as a control plane + two loopback node
 # daemons — must produce byte-identical alarm logs. Exercises the full
 # process topology the distributed_test covers in-memory: join,
-# deterministic partition, artifact pulls on promotion, and graceful
-# SIGTERM shutdown of the daemons.
+# deterministic partition, binary tick fan-out, artifact pulls on
+# promotion, checkpointed journal truncation spilled to a real on-disk
+# store, and graceful SIGTERM shutdown of the daemons.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,9 +30,13 @@ DIST="$TMP/dist.alarms"
 "$TMP/mlopsd" -platform Intel_Purley -scale 0.03 -seed 31 \
     -alarm-log "$REF" > "$TMP/ref.log"
 
-# Distributed: control plane + two node daemons on the loopback.
+# Distributed: control plane + two node daemons on the loopback, with an
+# aggressive checkpoint cadence and an on-disk spill store so the journal
+# lifecycle (truncate + spill) actually runs at smoke scale.
+mkdir -p "$TMP/spill"
 "$TMP/mlopsd" -platform Intel_Purley -scale 0.03 -seed 31 \
-    -alarm-log "$DIST" -addr 127.0.0.1:$PORT -nodes 2 > "$TMP/dist.log" &
+    -alarm-log "$DIST" -addr 127.0.0.1:$PORT -nodes 2 \
+    -checkpoint-every 8 -spill-dir "$TMP/spill" > "$TMP/dist.log" &
 CP=$!
 "$TMP/mlopsd" -node -join "http://127.0.0.1:$PORT" -name smoke-n1 > "$TMP/n1.log" &
 N1=$!
@@ -60,4 +65,17 @@ if ! cmp "$REF" "$DIST"; then
     echo "daemon-smoke: alarm logs differ between 1-process and 2-node replay" >&2
     exit 1
 fi
-echo "daemon-smoke: $(wc -l < "$REF" | tr -d ' ') alarms byte-identical across in-process and 2-node replay"
+
+# The journal must have actually truncated (and spilled segments to
+# disk), not just grown for the whole replay.
+JOURNAL=$(grep '^journal:' "$TMP/dist.log" || true)
+case "$JOURNAL" in
+    *" truncations=0 "*|"")
+        echo "daemon-smoke: journal never truncated: ${JOURNAL:-no summary line}" >&2
+        exit 1 ;;
+esac
+if ! ls "$TMP/spill"/journal@*.spill >/dev/null 2>&1; then
+    echo "daemon-smoke: no journal segments reached the spill dir" >&2
+    exit 1
+fi
+echo "daemon-smoke: $(wc -l < "$REF" | tr -d ' ') alarms byte-identical across in-process and 2-node replay ($JOURNAL)"
